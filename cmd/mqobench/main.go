@@ -1,0 +1,142 @@
+// Command mqobench regenerates the paper's evaluation figures: it runs the
+// experiment harness for each figure (and the ablation studies) and prints
+// the rows behind the plots as aligned text tables or CSV.
+//
+// Usage:
+//
+//	mqobench                      # every figure at reduced scale
+//	mqobench -fig 3 -scale paper  # Fig. 3 at the paper's full dimensions
+//	mqobench -fig ablation        # the ablation studies
+//	mqobench -csv -out results/   # CSV files, one per figure
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"incranneal/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, ablation or all")
+		scale   = flag.String("scale", "reduced", "experiment scale: smoke, reduced or paper")
+		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
+		outDir  = flag.String("out", "", "write per-figure files to this directory instead of stdout")
+		timeout = flag.Duration("timeout", 0, "per-algorithm run budget for the runtime figure (0 = 3m)")
+	)
+	flag.Parse()
+
+	sc, err := scaleFor(*scale)
+	if err != nil {
+		fail(err)
+	}
+	cfg := bench.ConfigFor(sc)
+	if *timeout > 0 {
+		cfg.TimeBudget = *timeout
+	}
+	ctx := context.Background()
+
+	type job struct {
+		name string
+		run  func() (*bench.Report, error)
+	}
+	jobs := []job{
+		{"1", func() (*bench.Report, error) { return bench.Fig1(sc), nil }},
+		{"3", func() (*bench.Report, error) { return bench.Fig3(ctx, cfg, sc) }},
+		{"4", func() (*bench.Report, error) { return bench.Fig4(ctx, cfg, sc) }},
+		{"5", func() (*bench.Report, error) { return bench.Fig5(ctx, cfg, sc) }},
+		{"6", func() (*bench.Report, error) { return bench.Fig6(ctx, cfg, sc) }},
+		{"7", func() (*bench.Report, error) { return bench.Fig7(ctx, cfg, sc) }},
+		{"devices", func() (*bench.Report, error) { return bench.DeviceShootout(ctx, cfg, sc) }},
+		{"ablation", func() (*bench.Report, error) { return nil, nil }}, // expanded below
+	}
+	selected := map[string]bool{}
+	if *fig == "all" {
+		for _, j := range jobs {
+			selected[j.name] = true
+		}
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			selected[strings.TrimSpace(f)] = true
+		}
+	}
+
+	emit := func(r *bench.Report) {
+		if r == nil {
+			return
+		}
+		if *outDir != "" {
+			ext := ".txt"
+			body := r.String()
+			if *csv {
+				ext = ".csv"
+				body = r.CSV()
+			}
+			path := filepath.Join(*outDir, r.ID+ext)
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			return
+		}
+		if *csv {
+			fmt.Println(r.CSV())
+		} else {
+			fmt.Println(r)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+
+	start := time.Now()
+	for _, j := range jobs[:7] {
+		if !selected[j.name] {
+			continue
+		}
+		r, err := j.run()
+		if err != nil {
+			fail(fmt.Errorf("fig %s: %w", j.name, err))
+		}
+		emit(r)
+	}
+	if selected["ablation"] {
+		for _, run := range []func(context.Context, bench.Config, bench.Scale) (*bench.Report, error){
+			bench.AblationDSS, bench.AblationPostProcess, bench.AblationLagrange,
+			bench.AblationDigitalAnnealer, bench.AblationBudget,
+		} {
+			r, err := run(ctx, cfg, sc)
+			if err != nil {
+				fail(err)
+			}
+			emit(r)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mqobench: done in %v (%s scale)\n", time.Since(start).Round(time.Second), sc.Name)
+}
+
+func scaleFor(name string) (bench.Scale, error) {
+	switch name {
+	case "smoke":
+		return bench.SmokeScale(), nil
+	case "reduced":
+		return bench.ReducedScale(), nil
+	case "paper":
+		return bench.PaperScale(), nil
+	default:
+		return bench.Scale{}, fmt.Errorf("unknown scale %q (want smoke, reduced or paper)", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mqobench:", err)
+	os.Exit(1)
+}

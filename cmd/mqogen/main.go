@@ -1,0 +1,130 @@
+// Command mqogen generates MQO problem instances to JSON: either synthetic
+// parameter-sweep instances with controlled community structure and
+// savings densities (Sec. 5.2.1 of the paper), or scenarios extrapolated
+// from the TPC-H, LDBC BI and JOB query-optimisation benchmarks
+// (Sec. 5.3.1).
+//
+// Usage:
+//
+//	mqogen -queries 250 -ppq 30 -communities 4 -density-high 1.0 > sweep.json
+//	mqogen -benchmark tpch -queries 500 -ppq 30 > tpch500.json
+//	mqogen -corpus instances/ -corpus-divisor 8   # the paper's 240-problem corpus, scaled 8×
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"incranneal/internal/mqo"
+	"incranneal/internal/workload"
+)
+
+func main() {
+	var (
+		queries     = flag.Int("queries", 250, "number of queries |Q|")
+		ppq         = flag.Int("ppq", 30, "plans per query")
+		communities = flag.Int("communities", 4, "number of query communities (sweep mode)")
+		equal       = flag.Bool("equal-communities", false, "equal community sizes (sweep mode; default: varying)")
+		densityLow  = flag.Float64("density-low", 0.05, "community density interval lower bound (sweep mode)")
+		densityHigh = flag.Float64("density-high", 1.0, "community density interval upper bound (sweep mode)")
+		cross       = flag.Float64("cross-density", 0.05, "cross-community savings density (sweep mode)")
+		benchmark   = flag.String("benchmark", "", "derive from a QO benchmark instead: tpch, ldbc or job")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		corpus      = flag.String("corpus", "", "write the full evaluation corpus (Sec. 5) to this directory instead")
+		corpusDiv   = flag.Int("corpus-divisor", 1, "shrink the corpus query axis by this divisor (1 = the paper's dimensions)")
+	)
+	flag.Parse()
+
+	if *corpus != "" {
+		if err := writeCorpus(*corpus, *corpusDiv); err != nil {
+			fmt.Fprintln(os.Stderr, "mqogen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	p, err := generate(*benchmark, workload.SweepConfig{
+		Queries: *queries, PPQ: *ppq,
+		Communities: *communities, EqualCommunities: *equal,
+		DensityLow: *densityLow, DensityHigh: *densityHigh, CrossDensity: *cross,
+		Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mqogen:", err)
+		os.Exit(1)
+	}
+	if err := mqo.WriteProblem(os.Stdout, p); err != nil {
+		fmt.Fprintln(os.Stderr, "mqogen: writing instance:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "generated %q: %d queries, %d plans, %d savings\n",
+		p.Name, p.NumQueries(), p.NumPlans(), p.NumSavings())
+}
+
+func generate(benchmark string, cfg workload.SweepConfig) (*mqo.Problem, error) {
+	if benchmark == "" {
+		in, err := workload.GenerateSweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return in.Problem, nil
+	}
+	cat, ok := workload.Catalogues()[benchmark]
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q (want tpch, ldbc or job)", benchmark)
+	}
+	in, err := workload.GenerateBench(workload.BenchConfig{
+		Catalogue: cat, Queries: cfg.Queries, PPQ: cfg.PPQ, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return in.Problem, nil
+}
+
+// writeCorpus materialises the evaluation corpus into dir: one JSON
+// instance per entry plus a manifest listing every ID and class.
+func writeCorpus(dir string, divisor int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	spec := workload.PaperCorpus()
+	if divisor > 1 {
+		spec = workload.ScaledCorpus(divisor)
+	}
+	entries := spec.Entries()
+	manifest, err := os.Create(filepath.Join(dir, "MANIFEST.txt"))
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+	for _, e := range entries {
+		sweepIn, benchIn, err := e.Generate()
+		if err != nil {
+			return fmt.Errorf("generating %s: %w", e.ID, err)
+		}
+		p := (*mqo.Problem)(nil)
+		if sweepIn != nil {
+			p = sweepIn.Problem
+		} else {
+			p = benchIn.Problem
+		}
+		f, err := os.Create(filepath.Join(dir, e.ID+".json"))
+		if err != nil {
+			return err
+		}
+		if err := mqo.WriteProblem(f, p); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(manifest, "%s\t%s\t%d queries\t%d plans\t%d savings\n",
+			e.ID, e.Class, p.NumQueries(), p.NumPlans(), p.NumSavings())
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d instances to %s\n", len(entries), dir)
+	return nil
+}

@@ -1,0 +1,164 @@
+// Command mqosolve optimises a JSON-encoded MQO instance (as produced by
+// mqogen) with any of the repository's algorithms and prints the solution
+// cost, pipeline statistics and optionally the full plan selection.
+//
+// Usage:
+//
+//	mqogen -queries 100 -ppq 10 | mqosolve -algorithm da-incremental
+//	mqosolve -in instance.json -algorithm hc -print-solution
+//
+// Algorithms: da-incremental (paper's method, default), da-parallel,
+// da-default, da-pt, sa-default, sa-incremental, hqa, va, hc, genetic,
+// greedy, exact, astar.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"incranneal/internal/baseline"
+	"incranneal/internal/core"
+	"incranneal/internal/da"
+	"incranneal/internal/hqa"
+	"incranneal/internal/mqo"
+	"incranneal/internal/sa"
+	"incranneal/internal/solver"
+	"incranneal/internal/va"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "instance file (\"-\" for stdin)")
+		algorithm = flag.String("algorithm", "da-incremental", "algorithm to run")
+		capacity  = flag.Int("capacity", 0, "override device variable capacity (0 = device default)")
+		runs      = flag.Int("runs", 16, "annealing runs per (partial) problem")
+		sweeps    = flag.Int("sweeps", 0, "total annealing iteration budget (0 = device default)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = unbounded)")
+		printSol  = flag.Bool("print-solution", false, "print the selected plan per query")
+	)
+	flag.Parse()
+
+	p, err := readProblem(*in)
+	if err != nil {
+		fail(err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	sol, cost, stats, err := run(ctx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("instance:   %s (%d queries, %d plans, %d savings)\n", p.Name, p.NumQueries(), p.NumPlans(), p.NumSavings())
+	fmt.Printf("algorithm:  %s\n", *algorithm)
+	fmt.Printf("cost:       %.4f\n", cost)
+	if g := mqo.GreedySolution(p); true {
+		fmt.Printf("greedy:     %.4f (naive per-query selection)\n", g.Cost(p))
+	}
+	fmt.Printf("elapsed:    %v\n", time.Since(start).Round(time.Millisecond))
+	if stats != "" {
+		fmt.Print(stats)
+	}
+	if *printSol {
+		for q, pl := range sol.Selected {
+			fmt.Printf("q%d -> plan %d (cost %.2f)\n", q, pl, p.Cost(pl))
+		}
+	}
+}
+
+func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, sweeps int, seed int64, timeout time.Duration) (*mqo.Solution, float64, string, error) {
+	copt := core.Options{Capacity: capacity, Runs: runs, TotalSweeps: sweeps, Seed: seed}
+	bopt := baseline.Options{Seed: seed, TimeBudget: timeout}
+	annealOutcome := func(out *core.Outcome, err error) (*mqo.Solution, float64, string, error) {
+		if err != nil {
+			return nil, 0, "", err
+		}
+		stats := fmt.Sprintf("partitions: %d\ndiscarded:  %.2f (savings crossing partitions)\nreapplied:  %.2f (via DSS)\nsweeps:     %d\n",
+			out.NumPartitions, out.DiscardedSavings, out.ReappliedSavings, out.Sweeps)
+		return out.Solution, out.Cost, stats, nil
+	}
+	baselineOutcome := func(res *baseline.Result, err error) (*mqo.Solution, float64, string, error) {
+		if err != nil {
+			return nil, 0, "", err
+		}
+		return res.Solution, res.Cost, fmt.Sprintf("iterations: %d\n", res.Iterations), nil
+	}
+	switch algorithm {
+	case "da-incremental":
+		copt.Device = &da.Solver{}
+		return annealOutcome(core.SolveIncremental(ctx, p, copt))
+	case "da-parallel":
+		copt.Device = &da.Solver{}
+		return annealOutcome(core.SolveParallel(ctx, p, copt))
+	case "da-default":
+		copt.Device = &da.Solver{}
+		return annealOutcome(core.SolveDefault(ctx, p, copt))
+	case "da-pt":
+		copt.Device = &ptSolver{Solver: &da.Solver{}}
+		return annealOutcome(core.SolveIncremental(ctx, p, copt))
+	case "va":
+		copt.Device = &va.Solver{}
+		return annealOutcome(core.SolveIncremental(ctx, p, copt))
+	case "sa-default":
+		copt.Device = &sa.Solver{}
+		return annealOutcome(core.SolveDefault(ctx, p, copt))
+	case "sa-incremental":
+		copt.Device = &sa.Solver{}
+		if copt.Capacity == 0 {
+			copt.Capacity = da.HardwareCapacity
+		}
+		return annealOutcome(core.SolveIncremental(ctx, p, copt))
+	case "hqa":
+		copt.Device = &hqa.Solver{}
+		if copt.Capacity == 0 {
+			copt.Capacity = da.HardwareCapacity
+		}
+		return annealOutcome(core.SolveIncremental(ctx, p, copt))
+	case "hc":
+		return baselineOutcome(baseline.HillClimb(ctx, p, bopt))
+	case "genetic":
+		return baselineOutcome(baseline.Genetic(ctx, p, baseline.GeneticOptions{Options: bopt}))
+	case "greedy":
+		sol := mqo.GreedySolution(p)
+		return sol, sol.Cost(p), "", nil
+	case "exact":
+		return baselineOutcome(baseline.Exact(ctx, p, bopt))
+	case "astar":
+		return baselineOutcome(baseline.AStar(ctx, p, bopt))
+	default:
+		return nil, 0, "", fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+}
+
+func readProblem(path string) (*mqo.Problem, error) {
+	if path == "-" {
+		return mqo.ReadProblem(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mqo.ReadProblem(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mqosolve:", err)
+	os.Exit(1)
+}
+
+// ptSolver routes Solve through the Digital Annealer's parallel-tempering
+// mode so the pipeline can use it as a drop-in device.
+type ptSolver struct{ *da.Solver }
+
+func (s *ptSolver) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return s.SolvePT(ctx, req)
+}

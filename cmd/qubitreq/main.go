@@ -1,0 +1,42 @@
+// Command qubitreq prints the qubit-capacity requirement table behind
+// Fig. 1 of the paper: the physical qubits the original (unpartitioned)
+// Trummer–Koch MQO encoding needs per problem size, against the capacities
+// of the D-Wave 2X and Advantage annealers.
+//
+// Usage:
+//
+//	qubitreq -max-queries 40 -ppq 10
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"incranneal/internal/embed"
+)
+
+func main() {
+	var (
+		maxQueries = flag.Int("max-queries", 40, "largest query count to tabulate")
+		ppq        = flag.Int("ppq", 10, "plans per query")
+	)
+	flag.Parse()
+
+	dw2x, adv := embed.DWave2X(), embed.Advantage()
+	fmt.Printf("%-8s %-13s %-22s %-22s\n", "queries", "logical vars",
+		fmt.Sprintf("%s (%d q)", "2X qubits", dw2x.Qubits),
+		fmt.Sprintf("%s (%d q)", "Advantage qubits", adv.Qubits))
+	for q := 2; q <= *maxQueries; q += 2 {
+		a := embed.RequiredQubits(dw2x, q, *ppq)
+		b := embed.RequiredQubits(adv, q, *ppq)
+		fmt.Printf("%-8d %-13d %-22s %-22s\n", q, a.LogicalVariables, mark(a), mark(b))
+	}
+	fmt.Printf("\nmax clique variables: 2X %d, Advantage %d\n", dw2x.MaxCliqueVariables(), adv.MaxCliqueVariables())
+}
+
+func mark(r embed.Requirement) string {
+	if r.Exceeded {
+		return fmt.Sprintf("%d ✗ exceeded", r.PhysicalQubits)
+	}
+	return fmt.Sprintf("%d", r.PhysicalQubits)
+}

@@ -1,0 +1,64 @@
+package incranneal_test
+
+import (
+	"context"
+	"fmt"
+
+	"incranneal"
+)
+
+// ExampleSolve optimises the paper's running example (Fig. 2): four
+// queries with two plans each. The naive greedy optimiser pays 34; the
+// annealing pipeline finds the optimal batch plan at cost 25.
+func ExampleSolve() {
+	p := incranneal.PaperExample()
+	out, err := incranneal.Solve(context.Background(), p, incranneal.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost %.0f, plans %v\n", out.Cost, out.Solution.Selected)
+	// Output: cost 25, plans [1 3 4 6]
+}
+
+// ExampleGreedy shows the per-query baseline MQO improves on.
+func ExampleGreedy() {
+	p := incranneal.PaperExample()
+	_, cost := incranneal.Greedy(p)
+	fmt.Printf("greedy cost %.0f\n", cost)
+	// Output: greedy cost 34
+}
+
+// ExampleNewProblem builds a two-query instance by hand: plan costs per
+// query, one saving between plan 1 (query 0) and plan 3 (query 1).
+func ExampleNewProblem() {
+	p, err := incranneal.NewProblem(
+		[][]float64{{9, 10}, {9, 10}},
+		[]incranneal.Saving{{P1: 1, P2: 3, Value: 5}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	out, err := incranneal.Solve(context.Background(), p, incranneal.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost %.0f\n", out.Cost)
+	// Output: cost 15
+}
+
+// ExampleSolve_partitioned forces partitioning by emulating a 4-variable
+// device: the 8-plan example splits into two partial problems that the
+// incremental strategy coordinates through dynamic search steering.
+func ExampleSolve_partitioned() {
+	p := incranneal.PaperExample()
+	out, err := incranneal.Solve(context.Background(), p, incranneal.Options{
+		Capacity: 4,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("partitions %d, discarded %.0f, cost %.0f\n",
+		out.NumPartitions, out.DiscardedSavings, out.Cost)
+	// Output: partitions 2, discarded 10, cost 25
+}

@@ -1,0 +1,3 @@
+module incranneal
+
+go 1.22

@@ -1,0 +1,231 @@
+// Package incranneal is the public facade of the incremental
+// quantum(-inspired) annealing library for large-scale multiple query
+// optimisation (MQO), reproducing Schönberger, Trummer and Mauerer
+// (SIGMOD 2025).
+//
+// The library solves the classical MQO plan-selection problem — pick one
+// execution plan per query so that total execution cost minus inter-plan
+// cost savings is minimal — at scales far beyond the variable capacity of
+// any single annealing device, by
+//
+//  1. compressing the MQO instance into a partitioning graph and bisecting
+//     it recursively *on the annealer itself* (weighted graph-partitioning
+//     QUBO), and
+//  2. solving the resulting partial problems incrementally under dynamic
+//     search steering (DSS), which re-applies the savings the partitioning
+//     discarded by adjusting plan costs between partial solves.
+//
+// A minimal session:
+//
+//	p, _ := incranneal.NewProblem([][]float64{{9, 10}, {9, 10}}, []incranneal.Saving{{P1: 1, P2: 3, Value: 5}})
+//	out, _ := incranneal.Solve(context.Background(), p, incranneal.Options{})
+//	fmt.Println(out.Cost, out.Solution.Selected)
+//
+// Devices: the library ships a software Digital Annealer (DeviceDA, the
+// default), a hybrid quantum annealer simulator (DeviceHQA), classical
+// simulated annealing (DeviceSA) and a Vector Annealer simulator
+// (DeviceVA); any custom solver.Solver can be plugged in through
+// Options.CustomDevice. Problems within device capacity are
+// solved directly; larger problems flow through the partition + DSS
+// pipeline automatically.
+package incranneal
+
+import (
+	"context"
+	"fmt"
+
+	"incranneal/internal/core"
+	"incranneal/internal/da"
+	"incranneal/internal/hqa"
+	"incranneal/internal/mqo"
+	"incranneal/internal/sa"
+	"incranneal/internal/solver"
+	"incranneal/internal/va"
+	"incranneal/internal/workload"
+)
+
+// Problem is an immutable MQO instance; see NewProblem.
+type Problem = mqo.Problem
+
+// Saving is a cost-sharing opportunity between two plans of different
+// queries.
+type Saving = mqo.Saving
+
+// Solution assigns one plan to each query.
+type Solution = mqo.Solution
+
+// Outcome reports a completed solve: the solution, its cost and pipeline
+// statistics (partitions, discarded and re-applied savings, iterations).
+type Outcome = core.Outcome
+
+// NewProblem constructs an MQO problem from per-query plan costs and
+// inter-plan savings. planCosts[q] lists the execution costs of query q's
+// plans; global plan indices number plans consecutively query by query.
+func NewProblem(planCosts [][]float64, savings []Saving) (*Problem, error) {
+	return mqo.NewProblem(planCosts, savings)
+}
+
+// PaperExample returns the four-query running example of the paper
+// (Fig. 2), whose optimum costs 25.
+func PaperExample() *Problem { return mqo.PaperExample() }
+
+// Device selects the annealing backend.
+type Device int
+
+const (
+	// DeviceDA is the software Digital Annealer (default): parallel-trial
+	// Monte Carlo with dynamic offset escape and an 8,192-variable
+	// capacity, after Aramon et al. 2019.
+	DeviceDA Device = iota
+	// DeviceHQA is the hybrid quantum annealer simulator: classical
+	// orchestration around a noisy, capacity-limited simulated QPU.
+	DeviceHQA
+	// DeviceSA is classical simulated annealing without a capacity limit.
+	DeviceSA
+	// DeviceVA is the NEC Vector Annealer simulator: lockstep replica
+	// annealing with resampling (assessed by the paper and found dominated
+	// by the DA).
+	DeviceVA
+)
+
+// Strategy selects how problems beyond device capacity are processed.
+type Strategy int
+
+const (
+	// StrategyIncremental is the paper's method: annealer-backed
+	// partitioning, then sequential solves steered by DSS (default).
+	StrategyIncremental Strategy = iota
+	// StrategyParallel solves partitions independently and merges.
+	StrategyParallel
+	// StrategyDefault hands the unpartitioned QUBO to the device's own
+	// large-problem mode (vendor decomposition).
+	StrategyDefault
+)
+
+// Options configures Solve. The zero value uses the Digital Annealer with
+// the incremental strategy and the paper's run count.
+type Options struct {
+	// Device selects the annealing backend; DeviceDA if unset.
+	Device Device
+	// CustomDevice overrides Device with any solver implementation.
+	CustomDevice solver.Solver
+	// Strategy selects the processing mode; StrategyIncremental if unset.
+	Strategy Strategy
+	// Capacity overrides the device's variable capacity for partitioning
+	// (useful to emulate smaller devices); zero uses the device's own.
+	Capacity int
+	// Runs is the number of annealing runs per (partial) problem; zero
+	// means 16, the paper's setting.
+	Runs int
+	// TotalSweeps is the overall annealing iteration budget divided across
+	// partitions; zero uses device defaults.
+	TotalSweeps int
+	// Seed makes the pipeline deterministic.
+	Seed int64
+	// DisableDSS turns dynamic search steering off (ablation).
+	DisableDSS bool
+	// PostProcessParses configures Algorithm 1 (0 = the paper's 4 parses,
+	// negative disables post-processing).
+	PostProcessParses int
+}
+
+func (o Options) device() solver.Solver {
+	if o.CustomDevice != nil {
+		return o.CustomDevice
+	}
+	switch o.Device {
+	case DeviceHQA:
+		return &hqa.Solver{}
+	case DeviceSA:
+		return &sa.Solver{}
+	case DeviceVA:
+		return &va.Solver{}
+	default:
+		return &da.Solver{}
+	}
+}
+
+func (o Options) coreOptions() core.Options {
+	runs := o.Runs
+	if runs == 0 {
+		runs = 16
+	}
+	return core.Options{
+		Device:            o.device(),
+		Capacity:          o.Capacity,
+		Runs:              runs,
+		TotalSweeps:       o.TotalSweeps,
+		Seed:              o.Seed,
+		DisableDSS:        o.DisableDSS,
+		PostProcessParses: o.PostProcessParses,
+	}
+}
+
+// Solve optimises p end to end: it selects one plan per query minimising
+// total cost minus realised savings, partitioning the problem and steering
+// the search per the configured strategy whenever p exceeds the device
+// capacity.
+func Solve(ctx context.Context, p *Problem, opt Options) (*Outcome, error) {
+	if p == nil {
+		return nil, fmt.Errorf("incranneal: nil problem")
+	}
+	copt := opt.coreOptions()
+	switch opt.Strategy {
+	case StrategyParallel:
+		return core.SolveParallel(ctx, p, copt)
+	case StrategyDefault:
+		return core.SolveDefault(ctx, p, copt)
+	default:
+		return core.SolveIncremental(ctx, p, copt)
+	}
+}
+
+// Greedy returns the naive per-query cheapest-plan selection and its total
+// cost — the baseline MQO improves on (Example 3.1).
+func Greedy(p *Problem) (*Solution, float64) {
+	s := mqo.GreedySolution(p)
+	return s, s.Cost(p)
+}
+
+// Cost evaluates a solution's total cost on p (plan costs minus realised
+// savings).
+func Cost(p *Problem, s *Solution) float64 { return s.Cost(p) }
+
+// SweepConfig re-exports the parameter-sweep generator configuration
+// (Sec. 5.2.1 of the paper).
+type SweepConfig = workload.SweepConfig
+
+// GenerateSweep produces a synthetic MQO instance with controlled query
+// communities and savings densities.
+func GenerateSweep(cfg SweepConfig) (*Problem, error) {
+	in, err := workload.GenerateSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return in.Problem, nil
+}
+
+// BenchConfig re-exports the benchmark-derived generator configuration
+// (Sec. 5.3.1 of the paper).
+type BenchConfig = workload.BenchConfig
+
+// Benchmark names accepted by GenerateBenchmark.
+const (
+	BenchmarkTPCH = "tpch"
+	BenchmarkLDBC = "ldbc"
+	BenchmarkJOB  = "job"
+)
+
+// GenerateBenchmark extrapolates an MQO scenario from one of the built-in
+// query-optimisation benchmark catalogues (tpch, ldbc, job).
+func GenerateBenchmark(benchmark string, queries, ppq int, seed int64) (*Problem, error) {
+	cat, ok := workload.Catalogues()[benchmark]
+	if !ok {
+		return nil, fmt.Errorf("incranneal: unknown benchmark %q (want tpch, ldbc or job)", benchmark)
+	}
+	in, err := workload.GenerateBench(workload.BenchConfig{Catalogue: cat, Queries: queries, PPQ: ppq, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return in.Problem, nil
+}

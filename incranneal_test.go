@@ -1,0 +1,118 @@
+package incranneal
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSolvePaperExampleAllDevices(t *testing.T) {
+	p := PaperExample()
+	for _, dev := range []Device{DeviceDA, DeviceHQA, DeviceSA} {
+		out, err := Solve(context.Background(), p, Options{Device: dev, Seed: 1})
+		if err != nil {
+			t.Fatalf("device %d: %v", dev, err)
+		}
+		if out.Cost != 25 {
+			t.Errorf("device %d: cost = %v, want 25", dev, out.Cost)
+		}
+		if !out.Solution.Complete() {
+			t.Errorf("device %d: incomplete solution", dev)
+		}
+	}
+}
+
+func TestSolveStrategiesOnPartitionedProblem(t *testing.T) {
+	p := PaperExample()
+	for _, strat := range []Strategy{StrategyIncremental, StrategyParallel, StrategyDefault} {
+		out, err := Solve(context.Background(), p, Options{
+			Strategy: strat,
+			Capacity: 4, // force two partitions on the 8-plan example
+			Seed:     2,
+		})
+		if err != nil {
+			t.Fatalf("strategy %d: %v", strat, err)
+		}
+		if err := out.Solution.Validate(p); err != nil {
+			t.Errorf("strategy %d: invalid solution: %v", strat, err)
+		}
+		if out.Cost < 25 || out.Cost > 36 {
+			t.Errorf("strategy %d: cost = %v, want within [25, 36]", strat, out.Cost)
+		}
+	}
+}
+
+func TestSolveRejectsNilProblem(t *testing.T) {
+	if _, err := Solve(context.Background(), nil, Options{}); err == nil {
+		t.Error("Solve accepted nil problem")
+	}
+}
+
+func TestGreedyMatchesPaper(t *testing.T) {
+	p := PaperExample()
+	sol, cost := Greedy(p)
+	if cost != 34 {
+		t.Errorf("greedy cost = %v, want 34", cost)
+	}
+	if got := Cost(p, sol); got != 34 {
+		t.Errorf("Cost = %v, want 34", got)
+	}
+}
+
+func TestGenerateSweepThroughFacade(t *testing.T) {
+	p, err := GenerateSweep(SweepConfig{Queries: 20, PPQ: 3, Communities: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQueries() != 20 {
+		t.Errorf("queries = %d, want 20", p.NumQueries())
+	}
+	out, err := Solve(context.Background(), p, Options{Capacity: 24, Runs: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Solution.Complete() {
+		t.Error("incomplete solution")
+	}
+	if out.NumPartitions < 2 {
+		t.Errorf("expected partitioning with capacity 24, got %d partitions", out.NumPartitions)
+	}
+}
+
+func TestGenerateBenchmarkThroughFacade(t *testing.T) {
+	for _, bm := range []string{BenchmarkTPCH, BenchmarkLDBC, BenchmarkJOB} {
+		p, err := GenerateBenchmark(bm, 15, 3, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", bm, err)
+		}
+		if p.NumQueries() != 15 {
+			t.Errorf("%s: queries = %d", bm, p.NumQueries())
+		}
+	}
+	if _, err := GenerateBenchmark("nosuch", 10, 2, 1); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+}
+
+func TestDisableDSSChangesNothingButSteering(t *testing.T) {
+	p, err := GenerateSweep(SweepConfig{Queries: 24, PPQ: 3, Communities: 2, DensityLow: 0.3, DensityHigh: 0.9, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Solve(context.Background(), p, Options{Capacity: 24, Runs: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Solve(context.Background(), p, Options{Capacity: 24, Runs: 4, Seed: 7, DisableDSS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.ReappliedSavings == 0 {
+		t.Error("DSS re-applied nothing on a dense partitioned instance")
+	}
+	if without.ReappliedSavings != 0 {
+		t.Error("disabled DSS still re-applied savings")
+	}
+	if !with.Solution.Complete() || !without.Solution.Complete() {
+		t.Error("incomplete solutions")
+	}
+}

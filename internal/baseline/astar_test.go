@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"incranneal/internal/mqo"
+)
+
+func TestAStarSolvesPaperExample(t *testing.T) {
+	p := mqo.PaperExample()
+	res, err := AStar(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 25 {
+		t.Errorf("A* cost = %v, want 25", res.Cost)
+	}
+	if err := res.Solution.Validate(p); err != nil || !res.Solution.Complete() {
+		t.Fatalf("A* solution invalid: %v", err)
+	}
+	want := []int{1, 3, 4, 6}
+	for q, pl := range res.Solution.Selected {
+		if pl != want[q] {
+			t.Errorf("A* selection = %v, want %v", res.Solution.Selected, want)
+			break
+		}
+	}
+}
+
+func TestAStarMatchesExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 6, 3, 0.4)
+		a, err := AStar(context.Background(), p, Options{})
+		if err != nil {
+			return false
+		}
+		e, err := Exact(context.Background(), p, Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.Cost-e.Cost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAStarReportsSolutionCostConsistently(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomProblem(rng, 7, 3, 0.3)
+	res, err := AStar(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Solution.Cost(p)-res.Cost) > 1e-9 {
+		t.Errorf("reported cost %v, evaluated %v", res.Cost, res.Solution.Cost(p))
+	}
+}
+
+func TestAStarExpansionBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := randomProblem(rng, 14, 4, 0.4)
+	if _, err := AStar(context.Background(), p, Options{MaxIterations: 10}); err == nil {
+		t.Error("A* returned despite a 10-expansion budget on a 4^14 space")
+	}
+}
+
+func TestAStarRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(7))
+	p := randomProblem(rng, 12, 4, 0.4)
+	if _, err := AStar(ctx, p, Options{}); err == nil {
+		t.Error("A* ignored cancelled context")
+	}
+}

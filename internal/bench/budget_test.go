@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"incranneal/internal/mqo"
+)
+
+func TestDaSweepsScalesWithProblemSize(t *testing.T) {
+	cfg := Config{SweepsPerVar: 50}.withDefaults()
+	small := daSweeps(cfg, smallProblem(t, 4))
+	large := daSweeps(cfg, smallProblem(t, 8))
+	if large != 2*small {
+		t.Errorf("daSweeps: %d vs %d, want exact 2× scaling", small, large)
+	}
+}
+
+func TestSaSweepsIsTheNealDefault(t *testing.T) {
+	if got := saSweeps(Config{}, nil); got != 1000 {
+		t.Errorf("saSweeps = %d, want dwave-neal's 1000", got)
+	}
+}
+
+func TestAblationBudgetMonotoneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("budget sweep is slow")
+	}
+	scale := SmokeScale()
+	scale.Instances = 1
+	scale.QuerySet = []int{12}
+	scale.StandardPPQ = 3
+	cfg := Config{DACapacity: 18, Runs: 2, SweepsPerVar: 30}
+	r, err := AblationBudget(context.Background(), cfg, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 budget levels", len(r.Rows))
+	}
+	// On a tiny smoke instance individual levels are noisy; assert the
+	// structural invariants instead: positive costs, and the best level is
+	// no worse than the smallest budget.
+	costs := make([]float64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		c, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= 0 {
+			t.Fatalf("non-positive cost %v in %v", c, row)
+		}
+		costs = append(costs, c)
+	}
+	best := costs[0]
+	for _, c := range costs {
+		if c < best {
+			best = c
+		}
+	}
+	if best > costs[0]*1.02 {
+		t.Errorf("no budget level within 2%% of the smallest budget's cost: %v", costs)
+	}
+}
+
+// smallProblem builds a minimal real instance with the given plan count
+// (single query owning all plans).
+func smallProblem(t *testing.T, plans int) *mqo.Problem {
+	t.Helper()
+	costs := make([]float64, plans)
+	for i := range costs {
+		costs[i] = 1
+	}
+	p, err := mqo.NewProblem([][]float64{costs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

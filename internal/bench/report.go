@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the tabular result behind one figure of the paper.
+type Report struct {
+	// ID is the experiment identifier, e.g. "fig3".
+	ID string
+	// Title describes the figure.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the formatted cells, aligned with Columns.
+	Rows [][]string
+	// Notes collects free-form observations (e.g. which algorithms were
+	// skipped and why).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the report as comma-separated values (quoted cells).
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	quote := func(cells []string) string {
+		qs := make([]string, len(cells))
+		for i, c := range cells {
+			qs[i] = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return strings.Join(qs, ",")
+	}
+	sb.WriteString(quote(r.Columns))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		sb.WriteString(quote(row))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// fmtNorm formats a normalised cost the way the paper plots it: values at
+// or above the figure's cut-off render as "N/A" (prohibitively large).
+func fmtNorm(v float64, cutoff float64) string {
+	if v <= 0 {
+		return "err"
+	}
+	if cutoff > 0 && v >= cutoff {
+		return "N/A"
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,228 @@
+// Package core implements the paper's contribution: incremental
+// quantum(-inspired) annealing for large-scale MQO. It combines the
+// partitioning phase (internal/partition) with three processing strategies
+// over the resulting partial problems:
+//
+//   - Incremental (Sec. 4.2, Algorithms 2 and 3): partial problems are
+//     solved one after another; after each solve, dynamic search steering
+//     (DSS) re-applies initially discarded savings by reducing the plan
+//     costs of still-unsolved partial problems, steering their optimisation
+//     towards the incumbent global solution. This is the paper's method.
+//   - Parallel: partial problems are solved independently and merged —
+//     faster, but blind to inter-partition savings.
+//   - Default: the device's own large-problem handling (e.g. the DA's
+//     vendor partitioning) on the unpartitioned QUBO.
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/partition"
+	"incranneal/internal/solver"
+)
+
+// Options configures an MQO solve.
+type Options struct {
+	// Device is the quantum(-inspired) annealer for the MQO phase.
+	// Required.
+	Device solver.Solver
+	// PartitionSolver is the device for the partitioning phase's bisection
+	// QUBOs; nil reuses Device (the paper's "multiple uses" of the same
+	// annealer).
+	PartitionSolver solver.Solver
+	// Capacity overrides the partial-problem variable limit; zero uses the
+	// device capacity (or leaves the problem unpartitioned for
+	// capacity-free devices).
+	Capacity int
+	// Runs is the number of annealing runs per (partial) problem; zero
+	// uses the device default (16 in the paper's setup).
+	Runs int
+	// TotalSweeps is the overall annealing iteration budget. The
+	// incremental and parallel strategies divide it evenly across partial
+	// problems so that the total matches an unpartitioned solve, as in the
+	// paper's constant-budget comparisons. Zero uses device defaults per
+	// partial problem.
+	TotalSweeps int
+	// Seed makes the full pipeline deterministic.
+	Seed int64
+	// PostProcessParses and MinPartFraction forward to
+	// partition.Options; see there.
+	PostProcessParses int
+	MinPartFraction   float64
+	// Parallelism bounds concurrent solves in the parallel strategy; zero
+	// means GOMAXPROCS.
+	Parallelism int
+	// DisableDSS turns dynamic search steering off in the incremental
+	// strategy (ablation): partial problems are still processed
+	// sequentially and merged, but discarded savings are never re-applied.
+	DisableDSS bool
+}
+
+// Outcome reports a completed MQO solve.
+type Outcome struct {
+	// Solution is the complete, validated plan selection.
+	Solution *mqo.Solution
+	// Cost is the solution's total cost on the original problem.
+	Cost float64
+	// Strategy names the processing strategy used.
+	Strategy string
+	// NumPartitions is the number of partial problems processed (1 when
+	// the problem fits the device directly).
+	NumPartitions int
+	// DiscardedSavings is the savings magnitude crossing partition
+	// boundaries (0 without partitioning).
+	DiscardedSavings float64
+	// ReappliedSavings is the savings magnitude DSS re-applied through
+	// plan-cost adjustments (incremental strategy only).
+	ReappliedSavings float64
+	// Sweeps is the total number of annealing iterations performed.
+	Sweeps int
+	// Elapsed is the wall-clock optimisation time.
+	Elapsed time.Duration
+}
+
+func (o Options) capacity() int {
+	if o.Capacity > 0 {
+		return o.Capacity
+	}
+	if o.Device != nil {
+		return o.Device.Capacity()
+	}
+	return 0
+}
+
+// needsPartitioning reports whether p exceeds the effective capacity.
+func (o Options) needsPartitioning(p *mqo.Problem) bool {
+	c := o.capacity()
+	return c > 0 && p.NumPlans() > c
+}
+
+// partitionProblem runs the partitioning phase with o's settings.
+func (o Options) partitionProblem(ctx context.Context, p *mqo.Problem) (*partition.Result, error) {
+	ps := o.PartitionSolver
+	if ps == nil {
+		ps = o.Device
+	}
+	return partition.Partition(ctx, p, partition.Options{
+		Capacity:          o.capacity(),
+		Solver:            ps,
+		Runs:              o.Runs,
+		Sweeps:            o.perPartitionSweeps(1), // partitioning QUBOs are small; budget like one partition
+		Seed:              o.Seed,
+		PostProcessParses: o.PostProcessParses,
+		MinPartFraction:   o.MinPartFraction,
+	})
+}
+
+// perPartitionSweeps divides the total budget across n partial problems.
+func (o Options) perPartitionSweeps(n int) int {
+	if o.TotalSweeps <= 0 {
+		return 0 // device default
+	}
+	if n < 1 {
+		n = 1
+	}
+	s := o.TotalSweeps / n
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// solveSub encodes and solves one partial problem on the device and
+// returns its samples decoded into valid local solutions.
+func solveSub(ctx context.Context, dev solver.Solver, sub *mqo.SubProblem, runs, sweeps int, seed int64) ([]*mqo.Solution, int, error) {
+	enc, err := encoding.EncodeMQO(sub.Local)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := solver.CheckCapacity(dev, enc.Model); err != nil {
+		return nil, 0, err
+	}
+	res, err := dev.Solve(ctx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	sols := make([]*mqo.Solution, 0, len(res.Samples))
+	for _, s := range res.Samples {
+		sol, err := enc.Decode(s.Assignment)
+		if err != nil {
+			return nil, 0, err
+		}
+		sols = append(sols, sol)
+	}
+	return sols, res.Sweeps, nil
+}
+
+// bestLocal returns the decoded sample with the lowest cost on the (DSS
+// adjusted) local problem. Because DSS folds every saving towards already
+// selected plans into the local costs, the adjusted local cost is exactly
+// the marginal cost w.r.t. the current total solution, implementing
+// BestIntSol of Algorithm 2.
+func bestLocal(sub *mqo.SubProblem, sols []*mqo.Solution) (*mqo.Solution, float64) {
+	var best *mqo.Solution
+	bestCost := 0.0
+	for _, s := range sols {
+		c := s.Cost(sub.Local)
+		if best == nil || c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	return best, bestCost
+}
+
+// finalize assembles an Outcome, validating the solution against p.
+func finalize(p *mqo.Problem, sol *mqo.Solution, strategy string, start time.Time) (*Outcome, error) {
+	if err := sol.Validate(p); err != nil {
+		return nil, fmt.Errorf("core: %s produced invalid solution: %w", strategy, err)
+	}
+	if !sol.Complete() {
+		return nil, fmt.Errorf("core: %s produced incomplete solution", strategy)
+	}
+	return &Outcome{
+		Solution: sol,
+		Cost:     sol.Cost(p),
+		Strategy: strategy,
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+func parallelism(o Options) int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// boundedGroup runs fns with at most limit concurrent goroutines and
+// returns the first error.
+func boundedGroup(limit int, fns []func() error) error {
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, fn := range fns {
+		fn := fn
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

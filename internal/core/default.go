@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/solver"
+)
+
+// SolveDefault optimises the *unpartitioned* MQO QUBO using the device's
+// own large-problem handling — the "Default" processing mode of the
+// evaluation (e.g. Fujitsu's vendor partitioning on the DA). Problems
+// within capacity are solved directly; problems beyond capacity require the
+// device to implement solver.LargeSolver.
+func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, error) {
+	start := time.Now()
+	enc, err := encoding.EncodeMQO(p)
+	if err != nil {
+		return nil, err
+	}
+	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.TotalSweeps, Seed: opt.Seed}
+	var res *solver.Result
+	capacity := opt.Device.Capacity()
+	switch {
+	case capacity == 0 || enc.Model.NumVariables() <= capacity:
+		res, err = opt.Device.Solve(ctx, req)
+	default:
+		ls, ok := opt.Device.(solver.LargeSolver)
+		if !ok {
+			return nil, fmt.Errorf("core: problem needs %d variables but device %s caps at %d and offers no default partitioning", enc.Model.NumVariables(), opt.Device.Name(), capacity)
+		}
+		res, err = ls.SolveLarge(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bestSol *mqo.Solution
+	bestCost := 0.0
+	for _, s := range res.Samples {
+		sol, err := enc.Decode(s.Assignment)
+		if err != nil {
+			return nil, err
+		}
+		if c := sol.Cost(p); bestSol == nil || c < bestCost {
+			bestSol, bestCost = sol, c
+		}
+	}
+	out, err := finalize(p, bestSol, "default", start)
+	if err != nil {
+		return nil, err
+	}
+	out.NumPartitions = 1
+	out.Sweeps = res.Sweeps
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"incranneal/internal/mqo"
+)
+
+// SolveIncremental runs the paper's incremental optimisation with dynamic
+// search steering (Algorithms 2 and 3). The problem is partitioned to the
+// device capacity; partial problems are then solved in sequence, each
+// encoded *after* DSS has folded the savings towards already-selected plans
+// into its plan costs, and the best partial solution w.r.t. the incumbent
+// total solution is merged in.
+//
+// Problems that already fit the device skip partitioning and are solved
+// directly; the strategies then coincide.
+func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, error) {
+	start := time.Now()
+	if !opt.needsPartitioning(p) {
+		return solveWhole(ctx, p, opt, "incremental", start)
+	}
+	part, err := opt.partitionProblem(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	out, err := IncrementalOverSubProblems(ctx, p, part.SubProblems, opt)
+	if err != nil {
+		return nil, err
+	}
+	out.DiscardedSavings = part.DiscardedSavings
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// IncrementalOverSubProblems runs Algorithm 2 over an already-partitioned
+// problem, processing the partial problems in the given order. It is the
+// optimisation phase of SolveIncremental, exposed for callers that control
+// partitioning themselves. The sub-problems' adjusted costs are consumed
+// (DSS mutates them); do not reuse sub across calls.
+func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, opt Options) (*Outcome, error) {
+	start := time.Now()
+	perSub := opt.perPartitionSweeps(len(subs))
+	ttlSol := mqo.NewSolution(p)
+	sweeps := 0
+	var reapplied float64
+	// pending[i] tracks the not-yet-applied discarded savings of subs[i];
+	// DSS consumes a saving when it adjusts a plan cost, so the repeated
+	// passes of Algorithm 3 never double-apply it.
+	pending := make([][]mqo.Saving, len(subs))
+	for i, sub := range subs {
+		pending[i] = append([]mqo.Saving(nil), sub.Discarded...)
+	}
+	for i, sub := range subs {
+		sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, perSub, opt.Seed+int64(1000+i))
+		if err != nil {
+			return nil, err
+		}
+		sweeps += performed
+		best, _ := bestLocal(sub, sols)
+		global, err := sub.ToGlobal(p, best)
+		if err != nil {
+			return nil, err
+		}
+		if err := ttlSol.Merge(global); err != nil {
+			return nil, err
+		}
+		if i+1 < len(subs) && !opt.DisableDSS {
+			reapplied += dss(ttlSol, subs[i+1:], pending[i+1:])
+		}
+	}
+	out, err := finalize(p, ttlSol, "incremental", start)
+	if err != nil {
+		return nil, err
+	}
+	out.NumPartitions = len(subs)
+	out.ReappliedSavings = reapplied
+	out.Sweeps = sweeps
+	return out, nil
+}
+
+// dss implements Algorithm 3: for every still-unsolved partial problem and
+// every pending discarded saving, when one endpoint has been selected into
+// the intermediate solution and the other endpoint is a plan of the
+// unsolved problem, that plan's cost is reduced by the saving's value. The
+// saving is then consumed. Returns the re-applied magnitude.
+func dss(intSol *mqo.Solution, remaining []*mqo.SubProblem, pending [][]mqo.Saving) float64 {
+	selected := make(map[int]bool, len(intSol.Selected))
+	for _, pl := range intSol.Selected {
+		if pl != mqo.Unassigned {
+			selected[pl] = true
+		}
+	}
+	var reapplied float64
+	for i, sub := range remaining {
+		kept := pending[i][:0]
+		for _, s := range pending[i] {
+			plan, selPlan := -1, -1
+			if _, in := sub.LocalPlan(s.P1); in {
+				plan, selPlan = s.P1, s.P2
+			} else if _, in := sub.LocalPlan(s.P2); in {
+				plan, selPlan = s.P2, s.P1
+			}
+			if plan >= 0 && selected[selPlan] {
+				sub.AdjustCost(plan, s.Value)
+				reapplied += s.Value
+				continue
+			}
+			kept = append(kept, s)
+		}
+		pending[i] = kept
+	}
+	return reapplied
+}
+
+// solveWhole solves an unpartitioned problem directly on the device.
+func solveWhole(ctx context.Context, p *mqo.Problem, opt Options, strategy string, start time.Time) (*Outcome, error) {
+	sub, err := mqo.Extract(p, allQueries(p))
+	if err != nil {
+		return nil, err
+	}
+	sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, opt.perPartitionSweeps(1), opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	best, _ := bestLocal(sub, sols)
+	global, err := sub.ToGlobal(p, best)
+	if err != nil {
+		return nil, err
+	}
+	out, err := finalize(p, global, strategy, start)
+	if err != nil {
+		return nil, err
+	}
+	out.NumPartitions = 1
+	out.Sweeps = performed
+	return out, nil
+}
+
+func allQueries(p *mqo.Problem) []int {
+	qs := make([]int, p.NumQueries())
+	for i := range qs {
+		qs[i] = i
+	}
+	return qs
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"incranneal/internal/mqo"
+)
+
+// SolveParallel partitions the problem and optimises every partial problem
+// *independently and concurrently* — the naive processing option of
+// Sec. 4.2. Merging the partial solutions yields a complete solution whose
+// cost still counts whatever cross-partition savings happen to apply
+// (Example 4.6), but the optimisation itself is blind to them, which is
+// what the incremental strategy improves on.
+func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, error) {
+	start := time.Now()
+	if !opt.needsPartitioning(p) {
+		return solveWhole(ctx, p, opt, "parallel", start)
+	}
+	part, err := opt.partitionProblem(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	subs := part.SubProblems
+	perSub := opt.perPartitionSweeps(len(subs))
+	globals := make([]*mqo.Solution, len(subs))
+	sweepCounts := make([]int, len(subs))
+	var mu sync.Mutex
+	fns := make([]func() error, len(subs))
+	for i, sub := range subs {
+		i, sub := i, sub
+		fns[i] = func() error {
+			sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, perSub, opt.Seed+int64(1000+i))
+			if err != nil {
+				return err
+			}
+			best, _ := bestLocal(sub, sols)
+			global, err := sub.ToGlobal(p, best)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			globals[i] = global
+			sweepCounts[i] = performed
+			mu.Unlock()
+			return nil
+		}
+	}
+	if err := boundedGroup(parallelism(opt), fns); err != nil {
+		return nil, err
+	}
+	ttlSol := mqo.NewSolution(p)
+	sweeps := 0
+	for i, g := range globals {
+		if err := ttlSol.Merge(g); err != nil {
+			return nil, err
+		}
+		sweeps += sweepCounts[i]
+	}
+	out, err := finalize(p, ttlSol, "parallel", start)
+	if err != nil {
+		return nil, err
+	}
+	out.NumPartitions = len(subs)
+	out.DiscardedSavings = part.DiscardedSavings
+	out.Sweeps = sweeps
+	return out, nil
+}

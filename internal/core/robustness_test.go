@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"incranneal/internal/da"
+	"incranneal/internal/mqo"
+	"incranneal/internal/solver"
+)
+
+// faultySolver injects device failure modes into the pipeline: invalid
+// samples (constraint violations, as noisy hardware produces) and outright
+// errors after a number of successful solves.
+type faultySolver struct {
+	inner       solver.Solver
+	corrupt     bool // return constraint-violating assignments
+	failAfter   int  // error on the (failAfter+1)-th solve; -1 disables
+	solvesSoFar int
+}
+
+func (f *faultySolver) Name() string  { return "faulty-" + f.inner.Name() }
+func (f *faultySolver) Capacity() int { return f.inner.Capacity() }
+
+var errInjected = errors.New("injected device failure")
+
+func (f *faultySolver) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	if f.failAfter >= 0 && f.solvesSoFar >= f.failAfter {
+		return nil, errInjected
+	}
+	f.solvesSoFar++
+	res, err := f.inner.Solve(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if f.corrupt {
+		// Corrupt every sample deterministically: flip a pattern of bits,
+		// producing over- and under-selected queries.
+		rng := rand.New(rand.NewSource(req.Seed))
+		for i := range res.Samples {
+			for v := range res.Samples[i].Assignment {
+				if rng.Intn(3) == 0 {
+					res.Samples[i].Assignment[v] ^= 1
+				}
+			}
+			res.Samples[i].Energy = req.Model.Energy(res.Samples[i].Assignment)
+		}
+		res.SortSamples()
+	}
+	return res, nil
+}
+
+func TestPipelineRepairsCorruptedSamples(t *testing.T) {
+	// Even when the device corrupts every sample, the decode-and-repair
+	// path (Sec. 4.2 post-processing) must produce valid, complete
+	// solutions for all strategies.
+	p := mqo.PaperExample()
+	for _, strat := range []struct {
+		name  string
+		solve func(context.Context, *mqo.Problem, Options) (*Outcome, error)
+	}{
+		{"incremental", SolveIncremental},
+		{"parallel", SolveParallel},
+	} {
+		opt := Options{
+			Device:          &faultySolver{inner: &da.Solver{CapacityVars: 4}, corrupt: true, failAfter: -1},
+			PartitionSolver: &da.Solver{CapacityVars: 64},
+			Capacity:        4,
+			Runs:            4,
+			Seed:            1,
+		}
+		out, err := strat.solve(context.Background(), p, opt)
+		if err != nil {
+			t.Fatalf("%s with corrupting device: %v", strat.name, err)
+		}
+		if err := out.Solution.Validate(p); err != nil {
+			t.Errorf("%s: invalid solution from corrupted samples: %v", strat.name, err)
+		}
+		if !out.Solution.Complete() {
+			t.Errorf("%s: incomplete solution from corrupted samples", strat.name)
+		}
+	}
+}
+
+func TestPipelineSurfacesDeviceErrors(t *testing.T) {
+	p := mqo.PaperExample()
+	opt := Options{
+		Device:          &faultySolver{inner: &da.Solver{CapacityVars: 4}, failAfter: 1},
+		PartitionSolver: &da.Solver{CapacityVars: 64},
+		Capacity:        4,
+		Runs:            2,
+		Seed:            1,
+	}
+	_, err := SolveIncremental(context.Background(), p, opt)
+	if !errors.Is(err, errInjected) {
+		t.Errorf("device failure not surfaced: %v", err)
+	}
+}
+
+func TestPipelineRespectsCancellationMidway(t *testing.T) {
+	// Cancel after the first partial solve: the pipeline must return
+	// promptly (either a context error or a degraded-but-valid result from
+	// already-collected samples — never hang).
+	p := mqo.PaperExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	dev := &cancellingSolver{inner: &da.Solver{CapacityVars: 4}, cancel: cancel}
+	opt := Options{
+		Device:          dev,
+		PartitionSolver: &da.Solver{CapacityVars: 64},
+		Capacity:        4,
+		Runs:            2,
+		Seed:            1,
+	}
+	out, err := SolveIncremental(ctx, p, opt)
+	if err == nil {
+		// Cancellation degraded the later solves but repair still yields
+		// valid solutions; both outcomes are acceptable.
+		if verr := out.Solution.Validate(p); verr != nil {
+			t.Errorf("post-cancellation solution invalid: %v", verr)
+		}
+	}
+}
+
+// cancellingSolver cancels the context after its first solve.
+type cancellingSolver struct {
+	inner  solver.Solver
+	cancel context.CancelFunc
+	done   bool
+}
+
+func (c *cancellingSolver) Name() string  { return c.inner.Name() }
+func (c *cancellingSolver) Capacity() int { return c.inner.Capacity() }
+func (c *cancellingSolver) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	res, err := c.inner.Solve(ctx, req)
+	if !c.done {
+		c.done = true
+		c.cancel()
+	}
+	return res, err
+}
+
+func TestBoundedGroupLimitsAndPropagatesErrors(t *testing.T) {
+	var running, peak, done atomic.Int32
+	fns := make([]func() error, 8)
+	for i := range fns {
+		i := i
+		fns[i] = func() error {
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			done.Add(1)
+			if i == 5 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		}
+	}
+	err := boundedGroup(2, fns)
+	if err == nil {
+		t.Fatal("boundedGroup dropped the error")
+	}
+	if got := done.Load(); got != 8 {
+		t.Errorf("completed %d tasks, want all 8 despite the error", got)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("concurrency peak %d exceeds limit 2", p)
+	}
+}
+
+func TestPerPartitionSweepsDivision(t *testing.T) {
+	o := Options{TotalSweeps: 100}
+	if got := o.perPartitionSweeps(4); got != 25 {
+		t.Errorf("perPartitionSweeps(4) = %d, want 25", got)
+	}
+	if got := o.perPartitionSweeps(1000); got != 1 {
+		t.Errorf("perPartitionSweeps floors at 1, got %d", got)
+	}
+	o.TotalSweeps = 0
+	if got := o.perPartitionSweeps(4); got != 0 {
+		t.Errorf("zero budget must stay device-default, got %d", got)
+	}
+}
+
+func TestOutcomeReportsStrategyNames(t *testing.T) {
+	p := mqo.PaperExample()
+	opt := Options{Device: &da.Solver{CapacityVars: 64}, Runs: 4, Seed: 1}
+	inc, err := SolveIncremental(context.Background(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SolveParallel(context.Background(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := SolveDefault(context.Background(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Strategy != "incremental" || par.Strategy != "parallel" || def.Strategy != "default" {
+		t.Errorf("strategies = %q, %q, %q", inc.Strategy, par.Strategy, def.Strategy)
+	}
+}

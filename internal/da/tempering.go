@@ -1,0 +1,147 @@
+package da
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"time"
+
+	"incranneal/internal/qubo"
+	"incranneal/internal/solver"
+)
+
+// Parallel tempering is the Digital Annealer's second operating mode
+// described by Aramon et al. (2019): instead of sweeping one state through
+// a cooling schedule, the device holds a ladder of replicas at *fixed*
+// temperatures, advances each with the same parallel-trial Monte-Carlo
+// step, and periodically attempts replica exchanges between neighbouring
+// temperatures with the Metropolis criterion
+//
+//	P(swap i↔i+1) = min(1, exp((1/T_i − 1/T_{i+1})·(E_i − E_{i+1}))).
+//
+// Hot replicas roam the landscape while cold replicas exploit, and swaps
+// carry good configurations down the ladder — stronger than annealing on
+// rugged energy landscapes at the cost of running several replicas.
+
+// PTReplicasDefault is the default temperature-ladder size.
+const PTReplicasDefault = 8
+
+// SolvePT runs the Digital Annealer in parallel-tempering mode. The
+// request's Sweeps is the per-replica Monte-Carlo step budget; exchanges
+// are attempted every exchange interval. Samples of the result are the
+// per-replica best states.
+func (s *Solver) SolvePT(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	m := req.Model
+	if m == nil || m.NumVariables() == 0 {
+		return nil, errEmptyModel
+	}
+	if err := solver.CheckCapacity(s, m); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if req.TimeBudget > 0 {
+		deadline = start.Add(req.TimeBudget)
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	replicas := s.PTReplicas
+	if replicas <= 0 {
+		replicas = PTReplicasDefault
+	}
+	steps := s.steps(req) / replicas
+	if steps < 100 {
+		steps = 100
+	}
+	tHot, tCold := temperatureRange(m)
+	// Geometric temperature ladder from cold (index 0) to hot.
+	temps := make([]float64, replicas)
+	for i := range temps {
+		frac := float64(i) / float64(maxIntPT(replicas-1, 1))
+		temps[i] = tCold * math.Pow(tHot/tCold, frac)
+	}
+	states := make([]*qubo.State, replicas)
+	rngs := make([]*rand.Rand, replicas)
+	for i := range states {
+		states[i] = qubo.NewRandomState(m, rng)
+		rngs[i] = rand.New(rand.NewSource(rng.Int63()))
+	}
+	best := states[0].Copy()
+	offsets := make([]float64, replicas)
+	offUnit := meanAbsCoefficient(m)
+	if offUnit == 0 {
+		offUnit = 1
+	}
+	exchangeEvery := 20
+	performed := 0
+	for step := 0; step < steps; step++ {
+		if step%64 == 0 {
+			if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
+				break
+			}
+		}
+		for i, st := range states {
+			s.parallelTrialStep(st, temps[i], &offsets[i], offUnit, rngs[i])
+			if st.Energy() < best.Energy() {
+				best = st.Copy()
+			}
+		}
+		performed++
+		if step%exchangeEvery == exchangeEvery-1 {
+			for i := 0; i+1 < replicas; i++ {
+				delta := (1/temps[i] - 1/temps[i+1]) * (states[i].Energy() - states[i+1].Energy())
+				if delta >= 0 || rng.Float64() < math.Exp(delta) {
+					states[i], states[i+1] = states[i+1], states[i]
+					offsets[i], offsets[i+1] = offsets[i+1], offsets[i]
+				}
+			}
+		}
+	}
+	res := &solver.Result{Sweeps: performed * replicas, Elapsed: time.Since(start)}
+	res.Samples = append(res.Samples, solver.Sample{Assignment: best.Assignment(), Energy: best.Energy()})
+	for _, st := range states {
+		res.Samples = append(res.Samples, solver.Sample{Assignment: st.Assignment(), Energy: st.Energy()})
+	}
+	res.SortSamples()
+	if runs := req.Runs; runs > 0 && runs < len(res.Samples) {
+		res.Samples = res.Samples[:runs]
+	}
+	return res, nil
+}
+
+// parallelTrialStep performs one Digital Annealer Monte-Carlo step on st at
+// the given temperature: the shared-random threshold scan of Solve.anneal,
+// factored out so annealing and tempering share the exact hardware step.
+func (s *Solver) parallelTrialStep(st *qubo.State, temp float64, offset *float64, offUnit float64, rng *rand.Rand) {
+	n := st.Model().NumVariables()
+	theta := *offset - temp*math.Log(rng.Float64())
+	accepted := 0
+	for v := 0; v < n; v++ {
+		if st.DeltaEnergy(v) < theta {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		if !s.DisableDynamicOffset {
+			*offset += offUnit
+		}
+		return
+	}
+	k := rng.Intn(accepted)
+	for v := 0; v < n; v++ {
+		if st.DeltaEnergy(v) < theta {
+			if k == 0 {
+				st.Flip(v)
+				break
+			}
+			k--
+		}
+	}
+	*offset = 0
+}
+
+func maxIntPT(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

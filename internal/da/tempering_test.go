@@ -1,0 +1,105 @@
+package da
+
+import (
+	"context"
+	"testing"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/qubo"
+	"incranneal/internal/solver"
+)
+
+func TestSolvePTReachesPaperOptimum(t *testing.T) {
+	p := mqo.PaperExample()
+	enc, err := encoding.EncodeMQO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Solver{}
+	res, err := s.SolvePT(context.Background(), solver.Request{Model: enc.Model, Sweeps: 8000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := enc.Decode(res.Best().Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Cost(p); got != 25 {
+		t.Errorf("PT cost on paper example = %v, want 25", got)
+	}
+}
+
+func TestSolvePTCapacityAndEmpty(t *testing.T) {
+	s := &Solver{CapacityVars: 4}
+	b := qubo.NewBuilder(8)
+	b.AddLinear(0, 1)
+	if _, err := s.SolvePT(context.Background(), solver.Request{Model: b.Build(), Seed: 1}); err == nil {
+		t.Error("PT accepted over-capacity model")
+	}
+	if _, err := s.SolvePT(context.Background(), solver.Request{}); err == nil {
+		t.Error("PT accepted nil model")
+	}
+}
+
+func TestSolvePTSamplesAndRunsClamp(t *testing.T) {
+	p := mqo.PaperExample()
+	enc, _ := encoding.EncodeMQO(p)
+	s := &Solver{PTReplicas: 4}
+	res, err := s.SolvePT(context.Background(), solver.Request{Model: enc.Model, Runs: 2, Sweeps: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 2 {
+		t.Errorf("samples = %d, want clamped 2", len(res.Samples))
+	}
+	res, err = s.SolvePT(context.Background(), solver.Request{Model: enc.Model, Sweeps: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best + one per replica.
+	if len(res.Samples) != 5 {
+		t.Errorf("samples = %d, want 5 (best + 4 replicas)", len(res.Samples))
+	}
+}
+
+func TestSolvePTEscapesFrustratedModel(t *testing.T) {
+	// The two-cluster barrier model of the dynamic-offset test; tempering
+	// must also reach the global optimum of −9.
+	b := qubo.NewBuilder(6)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			b.AddQuadratic(i, j, -2)
+			b.AddQuadratic(i+3, j+3, -3)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b.AddQuadratic(i, i+3, 10)
+	}
+	s := &Solver{}
+	res, err := s.SolvePT(context.Background(), solver.Request{Model: b.Build(), Sweeps: 16000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best().Energy != -9 {
+		t.Errorf("PT best energy = %v, want −9", res.Best().Energy)
+	}
+}
+
+func TestSolvePTDeterministic(t *testing.T) {
+	p := mqo.PaperExample()
+	enc, _ := encoding.EncodeMQO(p)
+	s := &Solver{}
+	req := solver.Request{Model: enc.Model, Sweeps: 1600, Seed: 9}
+	r1, err := s.SolvePT(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.SolvePT(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Best().Energy != r2.Best().Energy {
+		t.Error("PT non-deterministic for fixed seed")
+	}
+}

@@ -1,0 +1,90 @@
+// Package embed estimates the physical qubit requirements of running the
+// original (unpartitioned) Trummer–Koch MQO encoding on quantum annealers,
+// reproducing Fig. 1 of the paper: the number of qubits needed per problem
+// size, with crosses where the quantum processing unit's capacity is
+// exceeded.
+//
+// Quantum annealers implement a fixed sparse hardware graph; a QUBO whose
+// interaction graph is denser must be *minor-embedded*, representing each
+// logical variable by a chain of physical qubits. The MQO encoding couples
+// every pair of plans within a query and every saving pair across queries,
+// so at realistic savings densities the embedding is clique-like; the
+// well-known closed forms for clique embeddings on D-Wave's Chimera and
+// Pegasus topologies therefore bound the requirement.
+package embed
+
+// Topology describes a quantum annealer's hardware graph for embedding
+// estimation purposes.
+type Topology struct {
+	// Name identifies the device generation.
+	Name string
+	// Qubits is the number of operable physical qubits.
+	Qubits int
+	// CliqueDivisor is the per-chain compression of the topology's
+	// standard clique embedding: embedding K_n requires chains of about
+	// n/CliqueDivisor + 1 qubits (4 for Chimera's K_{4,4} cells, 12 for
+	// Pegasus' higher connectivity).
+	CliqueDivisor int
+}
+
+// DWave2X returns the D-Wave 2X topology the original VLDB'16 MQO study
+// ran on: a Chimera C12 graph with 1,152 qubits (1,097 operable on the
+// production device; we use the nominal count).
+func DWave2X() Topology {
+	return Topology{Name: "D-Wave 2X (Chimera C12)", Qubits: 1152, CliqueDivisor: 4}
+}
+
+// Advantage returns the D-Wave Advantage topology available at the paper's
+// time of writing: a Pegasus P16 graph with roughly 5,600 operable qubits.
+func Advantage() Topology {
+	return Topology{Name: "D-Wave Advantage (Pegasus P16)", Qubits: 5640, CliqueDivisor: 12}
+}
+
+// CliqueEmbeddingQubits returns the physical qubits needed to minor-embed
+// a fully connected problem over n logical variables on t: each variable
+// becomes a chain of ⌈n/CliqueDivisor⌉+1 qubits.
+func (t Topology) CliqueEmbeddingQubits(n int) int {
+	if n <= 1 {
+		return n
+	}
+	chain := (n+t.CliqueDivisor-1)/t.CliqueDivisor + 1
+	return n * chain
+}
+
+// MaxCliqueVariables returns the largest logical variable count whose
+// clique embedding fits the device.
+func (t Topology) MaxCliqueVariables() int {
+	n := 1
+	for t.CliqueEmbeddingQubits(n+1) <= t.Qubits {
+		n++
+	}
+	return n
+}
+
+// Requirement is one Fig. 1 data point.
+type Requirement struct {
+	Queries int
+	PPQ     int
+	// LogicalVariables is the QUBO size of the unpartitioned encoding
+	// (queries × PPQ).
+	LogicalVariables int
+	// PhysicalQubits is the clique-embedding estimate on the topology.
+	PhysicalQubits int
+	// Exceeded reports whether the device capacity is exceeded (plotted
+	// as a cross in Fig. 1).
+	Exceeded bool
+}
+
+// RequiredQubits computes the Fig. 1 data point for an MQO problem class
+// of the given dimensions on t.
+func RequiredQubits(t Topology, queries, ppq int) Requirement {
+	n := queries * ppq
+	phys := t.CliqueEmbeddingQubits(n)
+	return Requirement{
+		Queries:          queries,
+		PPQ:              ppq,
+		LogicalVariables: n,
+		PhysicalQubits:   phys,
+		Exceeded:         phys > t.Qubits,
+	}
+}

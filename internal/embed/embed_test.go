@@ -1,0 +1,73 @@
+package embed
+
+import "testing"
+
+func TestCliqueEmbeddingFormula(t *testing.T) {
+	ch := DWave2X()
+	// K_8 on Chimera: chains of ⌈8/4⌉+1 = 3 → 24 qubits.
+	if got := ch.CliqueEmbeddingQubits(8); got != 24 {
+		t.Errorf("Chimera K_8 = %d qubits, want 24", got)
+	}
+	pg := Advantage()
+	// K_24 on Pegasus: chains of ⌈24/12⌉+1 = 3 → 72 qubits.
+	if got := pg.CliqueEmbeddingQubits(24); got != 72 {
+		t.Errorf("Pegasus K_24 = %d qubits, want 72", got)
+	}
+	if got := pg.CliqueEmbeddingQubits(1); got != 1 {
+		t.Errorf("K_1 = %d qubits, want 1", got)
+	}
+}
+
+func TestMaxCliqueVariables(t *testing.T) {
+	// Chimera C12's clique capacity is in the tens of variables; Pegasus
+	// P16's in the low hundreds — and Pegasus must dominate.
+	ch, pg := DWave2X(), Advantage()
+	chMax, pgMax := ch.MaxCliqueVariables(), pg.MaxCliqueVariables()
+	if chMax < 40 || chMax > 80 {
+		t.Errorf("Chimera max clique = %d, want ~60", chMax)
+	}
+	if pgMax < 150 || pgMax > 300 {
+		t.Errorf("Pegasus max clique = %d, want ~250", pgMax)
+	}
+	if pgMax <= chMax {
+		t.Errorf("Pegasus (%d) should exceed Chimera (%d)", pgMax, chMax)
+	}
+	// The returned size must actually fit, the next one must not.
+	if ch.CliqueEmbeddingQubits(chMax) > ch.Qubits {
+		t.Error("Chimera max clique does not fit")
+	}
+	if ch.CliqueEmbeddingQubits(chMax+1) <= ch.Qubits {
+		t.Error("Chimera max clique is not maximal")
+	}
+}
+
+func TestRequiredQubitsReproducesFig1Shape(t *testing.T) {
+	// Fig. 1: the original method exceeds contemporary QPU capacity for
+	// problems beyond ~21 queries at 10 PPQ; small problems fit.
+	pg := Advantage()
+	small := RequiredQubits(pg, 5, 10)
+	if small.Exceeded {
+		t.Errorf("5 queries × 10 PPQ should fit Advantage (%d qubits)", small.PhysicalQubits)
+	}
+	large := RequiredQubits(pg, 30, 10)
+	if !large.Exceeded {
+		t.Errorf("30 queries × 10 PPQ should exceed Advantage (%d qubits)", large.PhysicalQubits)
+	}
+	// Monotonic growth.
+	prev := 0
+	for q := 2; q <= 40; q++ {
+		r := RequiredQubits(pg, q, 10)
+		if r.PhysicalQubits <= prev {
+			t.Fatalf("qubit requirement not growing at %d queries", q)
+		}
+		prev = r.PhysicalQubits
+		if r.LogicalVariables != q*10 {
+			t.Fatalf("logical variables = %d, want %d", r.LogicalVariables, q*10)
+		}
+	}
+	// The 2X (used by the original VLDB'16 study) cuts off far earlier.
+	ch := DWave2X()
+	if !RequiredQubits(ch, 8, 10).Exceeded {
+		t.Error("8 queries × 10 PPQ should exceed the D-Wave 2X")
+	}
+}

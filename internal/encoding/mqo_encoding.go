@@ -1,0 +1,130 @@
+// Package encoding transforms the repository's optimisation problems into
+// the QUBO formalism required by quantum(-inspired) annealers (Sec. 2.1),
+// and decodes device samples back into problem solutions.
+//
+// Two encodings are provided: the Trummer–Koch MQO encoding (VLDB'16) used
+// by the optimisation phase (Algorithm 2, line 8), and the weighted
+// graph-bisection encoding of Sec. 4.1.2 used by the partitioning phase.
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"incranneal/internal/mqo"
+	"incranneal/internal/qubo"
+)
+
+// MQOEncoding couples an MQO problem with its QUBO model and the penalty
+// weight used, allowing samples to be decoded and the encoding to be
+// audited by tests.
+type MQOEncoding struct {
+	Problem *mqo.Problem
+	Model   *qubo.Model
+	// Penalty is the one-hot constraint weight A; it strictly exceeds any
+	// energy benefit obtainable by violating the one-plan-per-query
+	// constraint, so all minima of the model are valid solutions.
+	Penalty float64
+}
+
+// EncodeMQO builds the Trummer–Koch QUBO for p: one binary variable per
+// execution plan (x_p = 1 iff plan p is selected) and energy
+//
+//	H = A·Σ_q (1 − Σ_{p∈P_q} x_p)² + Σ_p c_p·x_p − Σ_{(p_i,p_j)∈S} s_ij·x_i·x_j.
+//
+// The first term enforces exactly one plan per query, the second charges
+// execution costs and the third rewards realised savings, so minimum-energy
+// configurations are optimal MQO solutions.
+//
+// The penalty weight A is derived from the instance (see SufficientPenalty)
+// rather than hand-tuned, and remains sufficient when DSS has reduced plan
+// costs below zero.
+func EncodeMQO(p *mqo.Problem) (*MQOEncoding, error) {
+	if p.NumQueries() == 0 {
+		return nil, mqo.ErrEmptyProblem
+	}
+	a := SufficientPenalty(p)
+	b := qubo.NewBuilder(p.NumPlans())
+	for q := 0; q < p.NumQueries(); q++ {
+		plans := p.Plans(q)
+		// A·(1 − Σx)² expands to A − A·Σ_p x_p + 2A·Σ_{p<p'} x_p·x_p'
+		// (using x² = x); the constant is dropped.
+		for _, pl := range plans {
+			b.AddLinear(pl, -a)
+		}
+		for i := 0; i < len(plans); i++ {
+			for j := i + 1; j < len(plans); j++ {
+				b.AddQuadratic(plans[i], plans[j], 2*a)
+			}
+		}
+	}
+	for pl := 0; pl < p.NumPlans(); pl++ {
+		b.AddLinear(pl, p.Cost(pl))
+	}
+	for _, s := range p.Savings() {
+		b.AddQuadratic(s.P1, s.P2, -s.Value)
+	}
+	return &MQOEncoding{Problem: p, Model: b.Build(), Penalty: a}, nil
+}
+
+// SufficientPenalty returns a one-hot penalty weight A guaranteeing that
+// every minimum of the encoded model selects exactly one plan per query.
+//
+// Violations and their maximum energy benefit:
+//   - selecting an extra plan p for an already-covered query raises the
+//     constraint energy by at least A while gaining at most
+//     Σ(savings incident to p) − c_p, so A must exceed
+//     max_p (incident(p) − c_p);
+//   - deselecting a query's only plan p raises the constraint energy by A
+//     while gaining at most c_p (its savings only shrink the gain), so A
+//     must exceed max_p c_p.
+//
+// Plan costs may be negative after DSS adjustments (Algorithm 3); both
+// bounds account for that by using the signed cost.
+func SufficientPenalty(p *mqo.Problem) float64 {
+	var bound float64
+	for pl := 0; pl < p.NumPlans(); pl++ {
+		var incident float64
+		for _, s := range p.SavingsOf(pl) {
+			incident += s.Value
+		}
+		c := p.Cost(pl)
+		bound = math.Max(bound, incident-c)
+		bound = math.Max(bound, c)
+	}
+	return bound + 1
+}
+
+// Decode converts a device sample into a valid MQO solution, applying the
+// validity post-processing of Sec. 4.2 when the sample violates the
+// one-plan-per-query constraint (possible on noisy devices).
+func (e *MQOEncoding) Decode(assignment []int8) (*mqo.Solution, error) {
+	if len(assignment) != e.Problem.NumPlans() {
+		return nil, fmt.Errorf("encoding: sample has %d variables, problem has %d plans", len(assignment), e.Problem.NumPlans())
+	}
+	selected := make([]bool, len(assignment))
+	for i, x := range assignment {
+		selected[i] = x != 0
+	}
+	return mqo.Repair(e.Problem, selected), nil
+}
+
+// IsValidSample reports whether a raw sample already selects exactly one
+// plan per query, i.e. whether Decode's repair step is a no-op.
+func (e *MQOEncoding) IsValidSample(assignment []int8) bool {
+	if len(assignment) != e.Problem.NumPlans() {
+		return false
+	}
+	for q := 0; q < e.Problem.NumQueries(); q++ {
+		count := 0
+		for _, pl := range e.Problem.Plans(q) {
+			if assignment[pl] != 0 {
+				count++
+			}
+		}
+		if count != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package encoding
+
+import (
+	"fmt"
+
+	"incranneal/internal/qubo"
+)
+
+// WeightedEdge is an edge of a partitioning graph: the accumulated cost
+// savings between the plans of two queries (Sec. 4.1.1).
+type WeightedEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// PartitionEncoding couples a partitioning-graph bisection QUBO with the
+// data needed to decode device samples into two query sets.
+type PartitionEncoding struct {
+	Model *qubo.Model
+	// NodeWeights[i] is ω_v of node i (the query's plan count).
+	NodeWeights []float64
+	// Edges is the weighted edge list the encoding was built from.
+	Edges []WeightedEdge
+	// LagrangeA is the multiplier ω_A of Theorem 4.5.
+	LagrangeA float64
+}
+
+// EncodePartition builds the weighted graph-bisection QUBO of Sec. 4.1.2
+// over spin variables s_i ∈ {−1,+1} (one per partitioning-graph node):
+//
+//	H_A = (Σ_i ω_vi·s_i)²           — balance: equal accumulated plan counts,
+//	H_B = Σ_(u,v)∈E ω_e·(1−s_u·s_v)/2 — cut: discarded savings magnitude,
+//	H   = ω_A·H_A + H_B.
+//
+// Minimising H_A yields two distinct query sets of equal accumulated plan
+// weight (Theorem 4.2); minimising H_B minimises the savings magnitude
+// discarded by the cut (Theorem 4.3); the Lagrange multiplier
+// ω_A = max_i Σ_j ω_ij guarantees balanced minima (Theorem 4.5). The spin
+// model is converted to an equivalent QUBO via s = 2x − 1 for the
+// binary-variable devices.
+func EncodePartition(nodeWeights []float64, edges []WeightedEdge) (*PartitionEncoding, error) {
+	return EncodePartitionScaled(nodeWeights, edges, 1)
+}
+
+// EncodePartitionScaled builds the bisection QUBO with the Lagrange
+// multiplier scaled to lagrangeScale·ω_A. Scales below 1 void the
+// Theorem 4.5 guarantee and exist for ablation studies; scales above 1
+// trade cut quality for stricter balance.
+func EncodePartitionScaled(nodeWeights []float64, edges []WeightedEdge, lagrangeScale float64) (*PartitionEncoding, error) {
+	n := len(nodeWeights)
+	if n == 0 {
+		return nil, fmt.Errorf("encoding: empty partitioning graph")
+	}
+	for i, w := range nodeWeights {
+		if w <= 0 {
+			return nil, fmt.Errorf("encoding: node %d has non-positive weight %v", i, w)
+		}
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+			return nil, fmt.Errorf("encoding: invalid partitioning edge (%d,%d)", e.U, e.V)
+		}
+		if e.Weight < 0 {
+			return nil, fmt.Errorf("encoding: negative partitioning edge weight %v", e.Weight)
+		}
+	}
+	if lagrangeScale <= 0 {
+		return nil, fmt.Errorf("encoding: lagrange scale must be positive, got %v", lagrangeScale)
+	}
+	lagrange := lagrangeScale * LagrangeMultiplier(n, edges)
+	is := qubo.NewIsing(n)
+	// ω_A·H_A = ω_A·(Σ ω_i s_i)² = ω_A·Σ ω_i² + 2ω_A·Σ_{i<j} ω_i ω_j s_i s_j.
+	var sqSum float64
+	for _, w := range nodeWeights {
+		sqSum += w * w
+	}
+	is.AddConstant(lagrange * sqSum)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			is.AddCoupling(i, j, 2*lagrange*nodeWeights[i]*nodeWeights[j])
+		}
+	}
+	// H_B = Σ ω_e/2 − Σ (ω_e/2)·s_u·s_v.
+	for _, e := range edges {
+		is.AddConstant(e.Weight / 2)
+		is.AddCoupling(e.U, e.V, -e.Weight/2)
+	}
+	return &PartitionEncoding{
+		Model:       is.ToQUBO(),
+		NodeWeights: append([]float64(nil), nodeWeights...),
+		Edges:       append([]WeightedEdge(nil), edges...),
+		LagrangeA:   lagrange,
+	}, nil
+}
+
+// LagrangeMultiplier returns ω_A = max_{q_i} Σ_{q_j≠q_i} ω_ij — the largest
+// accumulated edge weight incident to any single node — which per
+// Theorem 4.5 makes the H_A penalty for any balance violation outweigh the
+// maximum H_B benefit. A floor of 1 keeps the balance term active on
+// edgeless graphs.
+func LagrangeMultiplier(numNodes int, edges []WeightedEdge) float64 {
+	incident := make([]float64, numNodes)
+	for _, e := range edges {
+		incident[e.U] += e.Weight
+		incident[e.V] += e.Weight
+	}
+	var mx float64
+	for _, w := range incident {
+		if w > mx {
+			mx = w
+		}
+	}
+	if mx < 1 {
+		mx = 1
+	}
+	return mx
+}
+
+// Decode splits the node indices into the two partitions implied by a
+// device sample of the bisection QUBO: binary 1 corresponds to spin +1
+// (first partition), binary 0 to spin −1 (second).
+func (e *PartitionEncoding) Decode(assignment []int8) (part1, part2 []int, err error) {
+	if len(assignment) != len(e.NodeWeights) {
+		return nil, nil, fmt.Errorf("encoding: sample has %d variables, graph has %d nodes", len(assignment), len(e.NodeWeights))
+	}
+	for i, x := range assignment {
+		if x != 0 {
+			part1 = append(part1, i)
+		} else {
+			part2 = append(part2, i)
+		}
+	}
+	return part1, part2, nil
+}
+
+// CutWeight returns the accumulated weight of edges crossing the given
+// bipartition (part membership per node, true = part1) — the magnitude of
+// savings a cut discards.
+func (e *PartitionEncoding) CutWeight(inPart1 []bool) float64 {
+	var cut float64
+	for _, ed := range e.Edges {
+		if inPart1[ed.U] != inPart1[ed.V] {
+			cut += ed.Weight
+		}
+	}
+	return cut
+}
+
+// Imbalance returns |Σ_{part1} ω_v − Σ_{part2} ω_v| for the given
+// bipartition: zero for perfectly balanced plan counts.
+func (e *PartitionEncoding) Imbalance(inPart1 []bool) float64 {
+	var diff float64
+	for i, w := range e.NodeWeights {
+		if inPart1[i] {
+			diff += w
+		} else {
+			diff -= w
+		}
+	}
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff
+}

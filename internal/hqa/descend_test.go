@@ -1,0 +1,61 @@
+package hqa
+
+import (
+	"testing"
+
+	"incranneal/internal/qubo"
+)
+
+func TestDescendReachesLocalMinimum(t *testing.T) {
+	// f = −x0 − x1 + 3·x0·x1: minima at (1,0) and (0,1), energy −1.
+	b := qubo.NewBuilder(2)
+	b.AddLinear(0, -1)
+	b.AddLinear(1, -1)
+	b.AddQuadratic(0, 1, 3)
+	m := b.Build()
+	st := qubo.NewState(m) // all-zero start
+	descend(st)
+	if st.Energy() != -1 {
+		t.Errorf("descend energy = %v, want −1", st.Energy())
+	}
+	// No single flip may improve further.
+	for v := 0; v < 2; v++ {
+		if st.DeltaEnergy(v) < 0 {
+			t.Errorf("descend left improving flip at %d", v)
+		}
+	}
+}
+
+func TestDescendIdempotent(t *testing.T) {
+	b := qubo.NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.AddLinear(i, float64(i)-2)
+	}
+	for i := 0; i < 4; i++ {
+		b.AddQuadratic(i, i+1, 1.5)
+	}
+	m := b.Build()
+	st := qubo.NewState(m)
+	descend(st)
+	before := st.Energy()
+	descend(st)
+	if st.Energy() != before {
+		t.Errorf("second descend changed energy: %v → %v", before, st.Energy())
+	}
+}
+
+func TestSolverDefaults(t *testing.T) {
+	s := &Solver{}
+	if s.subCapacity() != QPUCapacity {
+		t.Errorf("subCapacity = %d, want %d", s.subCapacity(), QPUCapacity)
+	}
+	if s.noise() != 0.03 {
+		t.Errorf("noise = %v, want 0.03", s.noise())
+	}
+	if s.precisionBits() != 8 {
+		t.Errorf("precisionBits = %d, want 8", s.precisionBits())
+	}
+	if s.qpuSteps() != 400 {
+		t.Errorf("qpuSteps = %d, want 400", s.qpuSteps())
+	}
+}

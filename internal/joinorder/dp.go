@@ -1,0 +1,109 @@
+package joinorder
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// MaxDPRelations bounds the exact solver: the subset DP holds 2^n states.
+const MaxDPRelations = 20
+
+// OptimalOrder computes the cost-optimal left-deep join order by dynamic
+// programming over relation subsets (Selinger-style), usable as the exact
+// sub-solver of the partitioned pipeline and as a test oracle.
+func OptimalOrder(g *QueryGraph) (Order, float64, error) {
+	order, cost, err := optimalExtension(g, newPrefixState(g), allRelations(g))
+	return order, cost, err
+}
+
+// optimalExtension computes the cheapest way to join the given relations
+// (indices into g) onto an existing prefix, returning the extension order
+// and its marginal C_out contribution. An empty prefix makes the first
+// joined relation free, matching Order.Cost.
+func optimalExtension(g *QueryGraph, prefix *prefixState, rels []int) (Order, float64, error) {
+	n := len(rels)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if n > MaxDPRelations {
+		return nil, 0, fmt.Errorf("joinorder: DP limited to %d relations, got %d", MaxDPRelations, n)
+	}
+	// cost[mask] = cheapest marginal cost of joining exactly the subset
+	// mask onto prefix; last[mask] = relation joined last on that path.
+	size := 1 << n
+	cost := make([]float64, size)
+	last := make([]int8, size)
+	for m := range cost {
+		cost[m] = math.Inf(1)
+		last[m] = -1
+	}
+	cost[0] = 0
+	// cards[mask] = intermediate cardinality of prefix ⋈ subset(mask),
+	// computable incrementally: joining relation i onto mask multiplies by
+	// card_i, the selectivities to the prefix, and those inside mask.
+	cards := make([]float64, size)
+	cards[0] = prefix.card
+	// selToPrefix[i] = Π over joined prefix relations of sel(i, ·) × card_i.
+	selToPrefix := make([]float64, n)
+	for li, r := range rels {
+		f := g.relations[r].Cardinality
+		for j, in := range prefix.joined {
+			if in {
+				f *= g.sel[r][j]
+			}
+		}
+		selToPrefix[li] = f
+	}
+	for mask := 1; mask < size; mask++ {
+		m := mask
+		for m != 0 {
+			li := bits.TrailingZeros(uint(m))
+			m &^= 1 << li
+			prev := mask &^ (1 << li)
+			if math.IsInf(cost[prev], 1) {
+				continue
+			}
+			// Cardinality after joining rels[li] onto prefix ⋈ prev.
+			card := cards[prev] * selToPrefix[li]
+			pm := prev
+			for pm != 0 {
+				lj := bits.TrailingZeros(uint(pm))
+				pm &^= 1 << lj
+				card *= g.sel[rels[li]][rels[lj]]
+			}
+			// The first relation of an empty global prefix is a base scan,
+			// not an intermediate result.
+			marginal := card
+			if prefix.count == 0 && prev == 0 {
+				marginal = 0
+			}
+			if c := cost[prev] + marginal; c < cost[mask] {
+				cost[mask] = c
+				last[mask] = int8(li)
+				cards[mask] = card
+			}
+		}
+	}
+	// Reconstruct the order.
+	out := make(Order, 0, n)
+	mask := size - 1
+	for mask != 0 {
+		li := int(last[mask])
+		out = append(out, rels[li])
+		mask &^= 1 << li
+	}
+	// Reverse: reconstruction walked from the full set backwards.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, cost[size-1], nil
+}
+
+func allRelations(g *QueryGraph) []int {
+	rels := make([]int, g.NumRelations())
+	for i := range rels {
+		rels[i] = i
+	}
+	return rels
+}

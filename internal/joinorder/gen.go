@@ -1,0 +1,107 @@
+package joinorder
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Topology names the standard query-graph shapes of the join-ordering
+// literature (cf. the join order benchmark's classification).
+type Topology string
+
+const (
+	// Chain connects relation i to i+1.
+	Chain Topology = "chain"
+	// Star connects relation 0 to every other relation.
+	Star Topology = "star"
+	// Cycle is a chain with the ends connected.
+	Cycle Topology = "cycle"
+	// Clique connects every relation pair.
+	Clique Topology = "clique"
+)
+
+// Generate builds a random join query of the given topology: cardinalities
+// are log-uniform in [10, 10⁶], selectivities log-uniform in [10⁻⁴, 0.5].
+func Generate(topology Topology, relations int, seed int64) (*QueryGraph, error) {
+	if relations < 2 {
+		return nil, fmt.Errorf("joinorder: need at least 2 relations, got %d", relations)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rels := make([]Relation, relations)
+	for i := range rels {
+		rels[i] = Relation{
+			Name:        fmt.Sprintf("r%d", i),
+			Cardinality: logUniform(rng, 10, 1e6),
+		}
+	}
+	sel := func() float64 { return logUniform(rng, 1e-4, 0.5) }
+	var preds []Predicate
+	switch topology {
+	case Chain:
+		for i := 0; i+1 < relations; i++ {
+			preds = append(preds, Predicate{R1: i, R2: i + 1, Selectivity: sel()})
+		}
+	case Star:
+		for i := 1; i < relations; i++ {
+			preds = append(preds, Predicate{R1: 0, R2: i, Selectivity: sel()})
+		}
+	case Cycle:
+		for i := 0; i+1 < relations; i++ {
+			preds = append(preds, Predicate{R1: i, R2: i + 1, Selectivity: sel()})
+		}
+		preds = append(preds, Predicate{R1: relations - 1, R2: 0, Selectivity: sel()})
+	case Clique:
+		for i := 0; i < relations; i++ {
+			for j := i + 1; j < relations; j++ {
+				preds = append(preds, Predicate{R1: i, R2: j, Selectivity: sel()})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("joinorder: unknown topology %q", topology)
+	}
+	return NewQueryGraph(rels, preds)
+}
+
+// GenerateCommunities builds a join query of several chain-connected
+// predicate-dense groups with sparse highly-unselective links between them
+// — the JO analogue of the MQO community structure the partitioning
+// exploits.
+func GenerateCommunities(groups, relationsPerGroup int, seed int64) (*QueryGraph, error) {
+	if groups < 1 || relationsPerGroup < 2 {
+		return nil, fmt.Errorf("joinorder: invalid community shape %d×%d", groups, relationsPerGroup)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := groups * relationsPerGroup
+	rels := make([]Relation, n)
+	for i := range rels {
+		rels[i] = Relation{Name: fmt.Sprintf("r%d", i), Cardinality: logUniform(rng, 10, 1e6)}
+	}
+	var preds []Predicate
+	for gi := 0; gi < groups; gi++ {
+		base := gi * relationsPerGroup
+		// Dense selective predicates inside the group.
+		for i := 0; i < relationsPerGroup; i++ {
+			for j := i + 1; j < relationsPerGroup; j++ {
+				if i+1 == j || rng.Float64() < 0.4 {
+					preds = append(preds, Predicate{
+						R1: base + i, R2: base + j,
+						Selectivity: logUniform(rng, 1e-4, 1e-2),
+					})
+				}
+			}
+		}
+		// One weak link to the next group.
+		if gi+1 < groups {
+			preds = append(preds, Predicate{
+				R1: base + relationsPerGroup - 1, R2: base + relationsPerGroup,
+				Selectivity: 0.5,
+			})
+		}
+	}
+	return NewQueryGraph(rels, preds)
+}
+
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo * math.Pow(hi/lo, rng.Float64())
+}

@@ -1,0 +1,164 @@
+// Package joinorder generalises the paper's partitioning framework to join
+// ordering (JO), the extension sketched in its Sec. 7: like MQO, join
+// ordering has a graph representation — nodes are relations, edges are
+// join predicates — so the same recipe applies: compress, partition on the
+// annealer with minimal loss of information, and derive a total solution
+// incrementally, steering each sub-ordering by what has been joined so far.
+//
+// The package provides the query-graph model with a C_out cost function
+// over left-deep join orders, an exact dynamic-programming oracle and a
+// greedy (GOO-style) baseline for small problems, and the partitioned
+// incremental solver mirroring the MQO pipeline.
+package joinorder
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is a base relation of a join query.
+type Relation struct {
+	Name        string
+	Cardinality float64
+}
+
+// Predicate is a join predicate between two relations with a selectivity
+// in (0, 1].
+type Predicate struct {
+	R1, R2      int
+	Selectivity float64
+}
+
+// QueryGraph is a join query: relations plus join predicates. Relations
+// without any predicate connecting them join as cross products.
+type QueryGraph struct {
+	relations  []Relation
+	predicates []Predicate
+	// sel[i][j] is the combined selectivity between relations i and j
+	// (product over their predicates), or 1 when none exists.
+	sel [][]float64
+}
+
+// NewQueryGraph validates and indexes a join query.
+func NewQueryGraph(relations []Relation, predicates []Predicate) (*QueryGraph, error) {
+	if len(relations) == 0 {
+		return nil, fmt.Errorf("joinorder: no relations")
+	}
+	for i, r := range relations {
+		if r.Cardinality <= 0 || math.IsNaN(r.Cardinality) || math.IsInf(r.Cardinality, 0) {
+			return nil, fmt.Errorf("joinorder: relation %d (%s) has invalid cardinality %v", i, r.Name, r.Cardinality)
+		}
+	}
+	g := &QueryGraph{relations: append([]Relation(nil), relations...)}
+	n := len(relations)
+	g.sel = make([][]float64, n)
+	for i := range g.sel {
+		g.sel[i] = make([]float64, n)
+		for j := range g.sel[i] {
+			g.sel[i][j] = 1
+		}
+	}
+	for _, p := range predicates {
+		if p.R1 < 0 || p.R1 >= n || p.R2 < 0 || p.R2 >= n || p.R1 == p.R2 {
+			return nil, fmt.Errorf("joinorder: invalid predicate (%d,%d)", p.R1, p.R2)
+		}
+		if p.Selectivity <= 0 || p.Selectivity > 1 {
+			return nil, fmt.Errorf("joinorder: predicate (%d,%d) has invalid selectivity %v", p.R1, p.R2, p.Selectivity)
+		}
+		g.predicates = append(g.predicates, p)
+		g.sel[p.R1][p.R2] *= p.Selectivity
+		g.sel[p.R2][p.R1] *= p.Selectivity
+	}
+	return g, nil
+}
+
+// NumRelations returns the number of base relations.
+func (g *QueryGraph) NumRelations() int { return len(g.relations) }
+
+// Relation returns relation i.
+func (g *QueryGraph) Relation(i int) Relation { return g.relations[i] }
+
+// Predicates returns the join predicates. The slice is owned by the graph.
+func (g *QueryGraph) Predicates() []Predicate { return g.predicates }
+
+// Selectivity returns the combined selectivity between two relations
+// (1 when they share no predicate).
+func (g *QueryGraph) Selectivity(i, j int) float64 { return g.sel[i][j] }
+
+// Order is a left-deep join order: a permutation of the relation indices.
+type Order []int
+
+// Validate checks that o is a permutation of g's relations.
+func (o Order) Validate(g *QueryGraph) error {
+	if len(o) != g.NumRelations() {
+		return fmt.Errorf("joinorder: order covers %d relations, query has %d", len(o), g.NumRelations())
+	}
+	seen := make([]bool, g.NumRelations())
+	for _, r := range o {
+		if r < 0 || r >= g.NumRelations() || seen[r] {
+			return fmt.Errorf("joinorder: order %v is not a permutation", []int(o))
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// Cost evaluates the C_out cost of the left-deep order: the sum of the
+// cardinalities of all intermediate results. The cardinality after joining
+// relation o[k] is the running product of base cardinalities times the
+// selectivities of every predicate whose endpoints are both in the prefix.
+func (o Order) Cost(g *QueryGraph) float64 {
+	if len(o) == 0 {
+		return 0
+	}
+	card := g.relations[o[0]].Cardinality
+	var total float64
+	for k := 1; k < len(o); k++ {
+		card *= g.relations[o[k]].Cardinality
+		for j := 0; j < k; j++ {
+			card *= g.sel[o[k]][o[j]]
+		}
+		total += card
+	}
+	return total
+}
+
+// prefixState tracks an in-flight left-deep join: which relations are
+// joined and the current intermediate cardinality. It supports the
+// incremental solver, which continues a partition's ordering from the
+// global prefix — the join-ordering analogue of DSS re-applying discarded
+// information.
+type prefixState struct {
+	g      *QueryGraph
+	joined []bool
+	card   float64
+	count  int
+}
+
+func newPrefixState(g *QueryGraph) *prefixState {
+	return &prefixState{g: g, joined: make([]bool, g.NumRelations()), card: 1}
+}
+
+func (ps *prefixState) clone() *prefixState {
+	cp := &prefixState{g: ps.g, joined: append([]bool(nil), ps.joined...), card: ps.card, count: ps.count}
+	return cp
+}
+
+// extendCost returns the intermediate cardinality after joining r onto the
+// current prefix (the marginal C_out contribution of r).
+func (ps *prefixState) extendCost(r int) float64 {
+	card := ps.card * ps.g.relations[r].Cardinality
+	for j, in := range ps.joined {
+		if in {
+			card *= ps.g.sel[r][j]
+		}
+	}
+	return card
+}
+
+// extend joins r onto the prefix.
+func (ps *prefixState) extend(r int) {
+	ps.card = ps.extendCost(r)
+	ps.joined[r] = true
+	ps.count++
+}

@@ -1,0 +1,82 @@
+package joinorder
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixStateTracksOrderCost(t *testing.T) {
+	// Property: extending a prefix relation by relation accumulates
+	// exactly the marginal costs that Order.Cost sums.
+	f := func(seed int64) bool {
+		g, err := Generate(Cycle, 7, seed)
+		if err != nil {
+			return false
+		}
+		order := Order{3, 0, 5, 1, 6, 2, 4}
+		ps := newPrefixState(g)
+		var total float64
+		for i, r := range order {
+			c := ps.extendCost(r)
+			if i > 0 {
+				total += c
+			}
+			ps.extend(r)
+		}
+		want := order.Cost(g)
+		return math.Abs(total-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixStateCloneIsIndependent(t *testing.T) {
+	g, err := Generate(Chain, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := newPrefixState(g)
+	ps.extend(0)
+	cp := ps.clone()
+	ps.extend(1)
+	if cp.count != 1 || cp.joined[1] {
+		t.Error("clone shares state with original")
+	}
+	if ps.count != 2 {
+		t.Errorf("original count = %d, want 2", ps.count)
+	}
+}
+
+func TestOptimalExtensionContinuesPrefix(t *testing.T) {
+	// Joining {b} onto a prefix already holding {a, c} must charge the
+	// full cross-selectivity marginal cost.
+	g := mustChain(t)
+	ps := newPrefixState(g)
+	ps.extend(0) // a (card 1000)
+	ps.extend(2) // c (card 10) — cross product, card 10000
+	ext, marginal, err := optimalExtension(g, ps, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != 1 || ext[0] != 1 {
+		t.Fatalf("extension = %v, want [1]", ext)
+	}
+	// 10000 · 100 · 0.01 · 0.1 = 1000.
+	if marginal != 1000 {
+		t.Errorf("marginal = %v, want 1000", marginal)
+	}
+}
+
+func mustChain(t *testing.T) *QueryGraph {
+	t.Helper()
+	g, err := NewQueryGraph(
+		[]Relation{{Name: "a", Cardinality: 1000}, {Name: "b", Cardinality: 100}, {Name: "c", Cardinality: 10}},
+		[]Predicate{{R1: 0, R2: 1, Selectivity: 0.01}, {R1: 1, R2: 2, Selectivity: 0.1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

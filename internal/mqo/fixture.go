@@ -1,0 +1,48 @@
+package mqo
+
+// PaperExample returns the running example of the paper (Fig. 2): four
+// queries with two plans each, costs c1..c8 = 9,10,9,10,11,9,14,9 and ten
+// savings. Plan indices are zero-based, so the paper's p1..p8 map to 0..7.
+//
+// Ground truth established in Examples 3.1–4.7:
+//   - greedy selection (p1,p3,p6,p8) costs 34 once savings are counted;
+//   - the optimal solution (p2,p4,p5,p7) costs 25;
+//   - the partitioning graph has node weights 2,2,2,2 and edge weights
+//     ω(q1,q2)=8, ω(q1,q4)=5, ω(q2,q3)=5, ω(q3,q4)=8;
+//   - parallel processing of partitions {q1,q2},{q3,q4} yields cost 32;
+//   - incremental processing with DSS recovers the optimum 25.
+func PaperExample() *Problem {
+	p, err := NewProblem(
+		[][]float64{
+			{9, 10}, // q1: p1, p2
+			{9, 10}, // q2: p3, p4
+			{11, 9}, // q3: p5, p6
+			{14, 9}, // q4: p7, p8
+		},
+		[]Saving{
+			{P1: 0, P2: 2, Value: 1}, // s(p1,p3)
+			{P1: 0, P2: 3, Value: 1}, // s(p1,p4)
+			{P1: 1, P2: 2, Value: 1}, // s(p2,p3)
+			{P1: 1, P2: 3, Value: 5}, // s(p2,p4)
+			{P1: 1, P2: 6, Value: 5}, // s(p2,p7)
+			{P1: 3, P2: 4, Value: 5}, // s(p4,p5)
+			{P1: 4, P2: 6, Value: 5}, // s(p5,p7)
+			{P1: 4, P2: 7, Value: 1}, // s(p5,p8)
+			{P1: 5, P2: 6, Value: 1}, // s(p6,p7)
+			{P1: 5, P2: 7, Value: 1}, // s(p6,p8)
+		},
+	)
+	if err != nil {
+		panic("mqo: paper example must construct: " + err.Error())
+	}
+	p.Name = "paper-fig2"
+	return p
+}
+
+// PaperExampleOptimal returns the optimal solution (p2,p4,p5,p7) of the
+// paper example, with cost 25.
+func PaperExampleOptimal(p *Problem) *Solution {
+	s := NewSolution(p)
+	s.Selected = []int{1, 3, 4, 6}
+	return s
+}

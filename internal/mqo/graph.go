@@ -1,0 +1,115 @@
+package mqo
+
+// Graph is the MQO graph G = (V, E) of Sec. 3.1: one node per execution
+// plan, one undirected weighted edge per cost saving. It is a thin view over
+// a Problem used by partitioning and by structural statistics.
+type Graph struct {
+	p *Problem
+}
+
+// NewGraph returns the MQO graph view of p.
+func NewGraph(p *Problem) *Graph { return &Graph{p: p} }
+
+// NumNodes returns the number of plan nodes.
+func (g *Graph) NumNodes() int { return g.p.NumPlans() }
+
+// NumEdges returns the number of saving edges.
+func (g *Graph) NumEdges() int { return g.p.NumSavings() }
+
+// Degree returns the number of saving edges incident to plan node pl.
+func (g *Graph) Degree(pl int) int { return len(g.p.adj[pl]) }
+
+// EdgeWeight returns the saving value between two plan nodes, or 0.
+func (g *Graph) EdgeWeight(p1, p2 int) float64 { return g.p.SavingBetween(p1, p2) }
+
+// Density returns the cost-savings density of the instance: the fraction of
+// realised savings over all possible savings, i.e. over all plan pairs
+// belonging to different queries (paper footnote 4).
+func (g *Graph) Density() float64 {
+	possible := g.possiblePairs()
+	if possible == 0 {
+		return 0
+	}
+	return float64(g.p.NumSavings()) / float64(possible)
+}
+
+// possiblePairs counts plan pairs of different queries:
+// C(|P|,2) − Σ_q C(|P_q|,2).
+func (g *Graph) possiblePairs() int64 {
+	n := int64(g.p.NumPlans())
+	total := n * (n - 1) / 2
+	for q := 0; q < g.p.NumQueries(); q++ {
+		k := int64(len(g.p.Plans(q)))
+		total -= k * (k - 1) / 2
+	}
+	return total
+}
+
+// QueryAdjacency returns, for every pair of queries sharing at least one
+// saving, the accumulated saving value between their plans. The result maps
+// the smaller query index to (larger query index -> accumulated weight); it
+// is the edge set of the partitioning graph of Sec. 4.1.1.
+func (g *Graph) QueryAdjacency() map[int]map[int]float64 {
+	adj := make(map[int]map[int]float64)
+	for _, s := range g.p.Savings() {
+		q1, q2 := g.p.QueryOf(s.P1), g.p.QueryOf(s.P2)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		inner, ok := adj[q1]
+		if !ok {
+			inner = make(map[int]float64)
+			adj[q1] = inner
+		}
+		inner[q2] += s.Value
+	}
+	return adj
+}
+
+// ConnectedQueryComponents returns the connected components of the
+// query-level graph (queries connected when any of their plans share a
+// saving), each as a sorted list of query indices. Components are a cheap
+// structural proxy for the community structure the paper's generators
+// control.
+func (g *Graph) ConnectedQueryComponents() [][]int {
+	n := g.p.NumQueries()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, s := range g.p.Savings() {
+		union(g.p.QueryOf(s.P1), g.p.QueryOf(s.P2))
+	}
+	groups := make(map[int][]int)
+	for q := 0; q < n; q++ {
+		r := find(q)
+		groups[r] = append(groups[r], q)
+	}
+	comps := make([][]int, 0, len(groups))
+	for _, c := range groups {
+		comps = append(comps, c)
+	}
+	// Deterministic order: by first member.
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			if comps[j][0] < comps[i][0] {
+				comps[i], comps[j] = comps[j], comps[i]
+			}
+		}
+	}
+	return comps
+}

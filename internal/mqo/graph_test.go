@@ -1,0 +1,111 @@
+package mqo
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryAdjacencyMatchesPaper(t *testing.T) {
+	p := PaperExample()
+	g := NewGraph(p)
+	adj := g.QueryAdjacency()
+	// Example 4.1: ω(q1,q2)=8, ω(q1,q4)=5, ω(q2,q3)=5, ω(q3,q4)=8; no
+	// edges (q1,q3) or (q2,q4).
+	want := map[int]map[int]float64{
+		0: {1: 8, 3: 5},
+		1: {2: 5},
+		2: {3: 8},
+	}
+	if !reflect.DeepEqual(adj, want) {
+		t.Errorf("QueryAdjacency = %v, want %v", adj, want)
+	}
+}
+
+func TestGraphDensity(t *testing.T) {
+	p := PaperExample()
+	g := NewGraph(p)
+	// Possible pairs: C(8,2) − 4·C(2,2)... plans per query 2 → C(2,2)=1
+	// per query: 28 − 4 = 24. Realised savings: 10.
+	want := 10.0 / 24.0
+	if got := g.Density(); got != want {
+		t.Errorf("Density = %v, want %v", got, want)
+	}
+}
+
+func TestGraphDegreeAndEdgeWeight(t *testing.T) {
+	p := PaperExample()
+	g := NewGraph(p)
+	if got := g.NumNodes(); got != 8 {
+		t.Errorf("NumNodes = %d, want 8", got)
+	}
+	if got := g.NumEdges(); got != 10 {
+		t.Errorf("NumEdges = %d, want 10", got)
+	}
+	if got := g.Degree(1); got != 3 { // p2: s23, s24, s27
+		t.Errorf("Degree(p2) = %d, want 3", got)
+	}
+	if got := g.EdgeWeight(1, 6); got != 5 {
+		t.Errorf("EdgeWeight(p2,p7) = %v, want 5", got)
+	}
+}
+
+func TestConnectedQueryComponents(t *testing.T) {
+	// Two disconnected query groups.
+	p, err := NewProblem(
+		[][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}},
+		[]Saving{
+			{P1: 0, P2: 2, Value: 1}, // q1–q2
+			{P1: 4, P2: 6, Value: 1}, // q3–q4
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := NewGraph(p).ConnectedQueryComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want two", comps)
+	}
+	if !reflect.DeepEqual(comps[0], []int{0, 1}) || !reflect.DeepEqual(comps[1], []int{2, 3}) {
+		t.Errorf("components = %v, want [[0 1] [2 3]]", comps)
+	}
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 5, 3, 0.3)
+		p.Name = "roundtrip"
+		var buf bytes.Buffer
+		if err := WriteProblem(&buf, p); err != nil {
+			return false
+		}
+		q, err := ReadProblem(&buf)
+		if err != nil {
+			return false
+		}
+		if q.Name != p.Name || q.NumQueries() != p.NumQueries() || q.NumPlans() != p.NumPlans() {
+			return false
+		}
+		for pl := 0; pl < p.NumPlans(); pl++ {
+			if q.Cost(pl) != p.Cost(pl) {
+				return false
+			}
+		}
+		return reflect.DeepEqual(q.Savings(), p.Savings())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadProblemRejectsGarbage(t *testing.T) {
+	if _, err := ReadProblem(bytes.NewBufferString("{")); err == nil {
+		t.Error("ReadProblem accepted truncated JSON")
+	}
+	if _, err := ReadProblem(bytes.NewBufferString(`{"planCosts": [[-1]], "savings": []}`)); err == nil {
+		t.Error("ReadProblem accepted negative cost")
+	}
+}

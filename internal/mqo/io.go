@@ -1,0 +1,76 @@
+package mqo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// problemJSON is the on-disk representation of a Problem. Plan costs are
+// grouped by query; savings use global plan indices.
+type problemJSON struct {
+	Name      string       `json:"name,omitempty"`
+	PlanCosts [][]float64  `json:"planCosts"`
+	Savings   []savingJSON `json:"savings"`
+}
+
+type savingJSON struct {
+	P1    int     `json:"p1"`
+	P2    int     `json:"p2"`
+	Value float64 `json:"value"`
+}
+
+// MarshalJSON encodes p in the instance interchange format used by the
+// cmd/mqogen and cmd/mqosolve tools.
+func (p *Problem) MarshalJSON() ([]byte, error) {
+	pj := problemJSON{Name: p.Name, Savings: []savingJSON{}}
+	for q := 0; q < p.NumQueries(); q++ {
+		costs := make([]float64, 0, len(p.Plans(q)))
+		for _, pl := range p.Plans(q) {
+			costs = append(costs, p.Cost(pl))
+		}
+		pj.PlanCosts = append(pj.PlanCosts, costs)
+	}
+	for _, s := range p.Savings() {
+		pj.Savings = append(pj.Savings, savingJSON{P1: s.P1, P2: s.P2, Value: s.Value})
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON decodes an instance written by MarshalJSON, validating it.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	var pj problemJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return fmt.Errorf("mqo: decoding problem: %w", err)
+	}
+	savings := make([]Saving, len(pj.Savings))
+	for i, s := range pj.Savings {
+		savings[i] = Saving{P1: s.P1, P2: s.P2, Value: s.Value}
+	}
+	np, err := NewProblem(pj.PlanCosts, savings)
+	if err != nil {
+		return err
+	}
+	np.Name = pj.Name
+	*p = *np
+	return nil
+}
+
+// WriteProblem writes p as JSON to w.
+func WriteProblem(w io.Writer, p *Problem) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}
+
+// ReadProblem reads a JSON-encoded problem from r.
+func ReadProblem(r io.Reader) (*Problem, error) {
+	var p Problem
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

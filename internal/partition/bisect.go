@@ -1,0 +1,207 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/sa"
+	"incranneal/internal/solver"
+)
+
+// Options configures the partitioning phase.
+type Options struct {
+	// Capacity is the target device's variable capacity: no partial
+	// problem may need more QUBO variables (= execution plans) than this.
+	// Required.
+	Capacity int
+	// Solver is the quantum(-inspired) device used to minimise the
+	// bisection QUBOs — the paper's second use of the annealer. When nil,
+	// or when a partitioning graph itself exceeds the device capacity,
+	// classical simulated annealing is used for that graph.
+	Solver solver.Solver
+	// Runs and Sweeps budget each bisection solve. Zero uses solver
+	// defaults.
+	Runs, Sweeps int
+	// Seed makes partitioning deterministic.
+	Seed int64
+	// PostProcessParses is the numParses parameter of Algorithm 1; zero
+	// uses the paper's value of 4 and a negative value disables
+	// post-processing (ablation).
+	PostProcessParses int
+	// MinPartFraction bounds the post-processing shrinkage: part1 never
+	// drops below this fraction of the subset's queries. Zero means 0.25.
+	MinPartFraction float64
+}
+
+func (o *Options) parses() int {
+	switch {
+	case o.PostProcessParses < 0:
+		return 0
+	case o.PostProcessParses == 0:
+		return 4
+	default:
+		return o.PostProcessParses
+	}
+}
+
+func (o *Options) minSize(n int) int {
+	f := o.MinPartFraction
+	if f <= 0 {
+		f = 0.25
+	}
+	m := int(f * float64(n))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Result is the outcome of partitioning an MQO problem.
+type Result struct {
+	// SubProblems are the capacity-conforming partial problems, ordered by
+	// descending plan count so incremental processing anchors the global
+	// solution on the largest partial solution first.
+	SubProblems []*mqo.SubProblem
+	// QuerySets holds the parent-problem query indices of each partial
+	// problem, aligned with SubProblems.
+	QuerySets [][]int
+	// Bisections counts annealer-backed graph bisections performed.
+	Bisections int
+	// DiscardedSavings is the total magnitude of savings crossing
+	// partition boundaries — the information DSS later re-applies. Each
+	// crossing saving is counted once.
+	DiscardedSavings float64
+}
+
+// Partition splits p into partial problems that each fit the device
+// capacity, using annealer-backed weighted graph bisection (Sec. 4.1.2)
+// refined by Algorithm 1, applied recursively (Sec. 4.1.2: "we may
+// recursively repeat this process until none of them exceed the capacity
+// limit").
+func Partition(ctx context.Context, p *mqo.Problem, opt Options) (*Result, error) {
+	if opt.Capacity <= 0 {
+		return nil, fmt.Errorf("partition: capacity must be positive, got %d", opt.Capacity)
+	}
+	g := BuildGraph(p)
+	all := make([]int, p.NumQueries())
+	for i := range all {
+		all[i] = i
+	}
+	res := &Result{}
+	seed := opt.Seed
+	var recurse func(queries []int) error
+	recurse = func(queries []int) error {
+		if g.PlanWeight(queries) <= float64(opt.Capacity) || len(queries) == 1 {
+			res.QuerySets = append(res.QuerySets, queries)
+			return nil
+		}
+		seed++
+		part1, part2, err := bisect(ctx, g, queries, opt, seed)
+		if err != nil {
+			return err
+		}
+		res.Bisections++
+		if err := recurse(part1); err != nil {
+			return err
+		}
+		return recurse(part2)
+	}
+	if err := recurse(all); err != nil {
+		return nil, err
+	}
+	// Largest partial problems first: the incumbent solution they seed
+	// steers all remaining solves.
+	sort.SliceStable(res.QuerySets, func(i, j int) bool {
+		return g.PlanWeight(res.QuerySets[i]) > g.PlanWeight(res.QuerySets[j])
+	})
+	for _, qs := range res.QuerySets {
+		sp, err := mqo.Extract(p, qs)
+		if err != nil {
+			return nil, err
+		}
+		res.SubProblems = append(res.SubProblems, sp)
+	}
+	// Sum each crossing saving once: every discarded saving appears in
+	// exactly two sub-problems' Discarded lists.
+	var total float64
+	for _, sp := range res.SubProblems {
+		total += sp.DiscardedMagnitude()
+	}
+	res.DiscardedSavings = total / 2
+	return res, nil
+}
+
+// bisect splits one query subset into two non-empty parts using the
+// annealer on the induced partitioning graph, then post-processes with
+// Algorithm 1 (both orientations, best cut kept).
+func bisect(ctx context.Context, g *Graph, queries []int, opt Options, seed int64) ([]int, []int, error) {
+	sub := g.Subgraph(queries)
+	enc, err := encoding.EncodePartition(sub.NodeWeights, sub.Edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := opt.Solver
+	if dev == nil || (dev.Capacity() > 0 && enc.Model.NumVariables() > dev.Capacity()) {
+		// Precondition of Sec. 4.1.2: the device must hold one variable
+		// per query node. Degrade to classical SA when it cannot.
+		dev = &sa.Solver{}
+	}
+	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.Sweeps, Seed: seed}
+	result, err := dev.Solve(ctx, req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("partition: bisection solve: %w", err)
+	}
+	l1, l2, err := enc.Decode(result.Best().Assignment)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(l1) == 0 || len(l2) == 0 {
+		l1, l2 = fallbackSplit(sub)
+	}
+	if parses := opt.parses(); parses > 0 {
+		l1, l2 = PostProcessBest(sub, l1, l2, parses, opt.minSize(len(queries)))
+	}
+	if len(l1) == 0 || len(l2) == 0 {
+		l1, l2 = fallbackSplit(sub)
+	}
+	toGlobal := func(local []int) []int {
+		out := make([]int, len(local))
+		for i, l := range local {
+			out[i] = queries[l]
+		}
+		sort.Ints(out)
+		return out
+	}
+	return toGlobal(l1), toGlobal(l2), nil
+}
+
+// fallbackSplit deterministically halves a subset by alternating
+// descending node weights across the parts, guaranteeing progress when the
+// annealer degenerates to an empty side.
+func fallbackSplit(g *Graph) ([]int, []int) {
+	order := make([]int, g.NumNodes())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if g.NodeWeights[order[a]] != g.NodeWeights[order[b]] {
+			return g.NodeWeights[order[a]] > g.NodeWeights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	var p1, p2 []int
+	var w1, w2 float64
+	for _, v := range order {
+		if w1 <= w2 {
+			p1 = append(p1, v)
+			w1 += g.NodeWeights[v]
+		} else {
+			p2 = append(p2, v)
+			w2 += g.NodeWeights[v]
+		}
+	}
+	return p1, p2
+}

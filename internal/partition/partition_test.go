@@ -1,0 +1,267 @@
+package partition
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"incranneal/internal/da"
+	"incranneal/internal/mqo"
+	"incranneal/internal/sa"
+)
+
+func TestBuildGraphPaperExample(t *testing.T) {
+	p := mqo.PaperExample()
+	g := BuildGraph(p)
+	if got := g.NumNodes(); got != 4 {
+		t.Fatalf("nodes = %d, want 4", got)
+	}
+	for q, w := range g.NodeWeights {
+		if w != 2 {
+			t.Errorf("node weight of q%d = %v, want 2", q+1, w)
+		}
+	}
+	// Example 4.1 edge weights.
+	cases := []struct {
+		q1, q2 int
+		want   float64
+	}{
+		{0, 1, 8}, {0, 3, 5}, {1, 2, 5}, {2, 3, 8},
+		{0, 2, 0}, {1, 3, 0}, // explicitly absent
+	}
+	for _, tc := range cases {
+		if got := g.EdgeWeight(tc.q1, tc.q2); got != tc.want {
+			t.Errorf("ω(q%d,q%d) = %v, want %v", tc.q1+1, tc.q2+1, got, tc.want)
+		}
+	}
+	if got := len(g.Edges); got != 4 {
+		t.Errorf("edges = %d, want 4", got)
+	}
+}
+
+func TestGraphHelpers(t *testing.T) {
+	p := mqo.PaperExample()
+	g := BuildGraph(p)
+	if got := g.PlanWeight([]int{0, 1}); got != 4 {
+		t.Errorf("PlanWeight = %v, want 4", got)
+	}
+	// Example 4.4: cut between (q1,q2) and (q3,q4) is 10.
+	if got := g.CutWeight([]int{0, 1}, []int{2, 3}); got != 10 {
+		t.Errorf("CutWeight = %v, want 10", got)
+	}
+	if got := g.CutWeight([]int{0, 3}, []int{1, 2}); got != 16 {
+		t.Errorf("CutWeight alt = %v, want 16", got)
+	}
+	if got := g.CutWeight([]int{0, 2}, []int{1, 3}); got != 26 {
+		t.Errorf("CutWeight worst = %v, want 26", got)
+	}
+	// Conformance of q1 to (q1,q2): ω(q1,q2) = 8 (self excluded).
+	if got := g.AccumulatedSavings(0, []int{0, 1}); got != 8 {
+		t.Errorf("AccumulatedSavings = %v, want 8", got)
+	}
+}
+
+func TestSubgraphPreservesWeights(t *testing.T) {
+	p := mqo.PaperExample()
+	g := BuildGraph(p)
+	sub := g.Subgraph([]int{0, 1, 3}) // q1, q2, q4
+	if got := sub.NumNodes(); got != 3 {
+		t.Fatalf("subgraph nodes = %d", got)
+	}
+	if got := sub.EdgeWeight(0, 1); got != 8 { // q1–q2
+		t.Errorf("subgraph ω(q1,q2) = %v, want 8", got)
+	}
+	if got := sub.EdgeWeight(0, 2); got != 5 { // q1–q4
+		t.Errorf("subgraph ω(q1,q4) = %v, want 5", got)
+	}
+	if got := sub.EdgeWeight(1, 2); got != 0 { // q2–q4 absent
+		t.Errorf("subgraph ω(q2,q4) = %v, want 0", got)
+	}
+}
+
+func TestPostProcessMovesMisassignedQuery(t *testing.T) {
+	p := mqo.PaperExample()
+	g := BuildGraph(p)
+	// Start from the worst cut (q1,q3)|(q2,q4): q3 conforms to q4's side
+	// (ω(q3,q4)=8 vs ω(q3,q1)=0), q1 to q2's (8 vs 0).
+	p1, p2 := PostProcess(g, []int{0, 2}, []int{1, 3}, 4, 1)
+	if g.CutWeight(p1, p2) >= 26 {
+		t.Errorf("post-processing did not reduce cut: %v | %v (cut %v)", p1, p2, g.CutWeight(p1, p2))
+	}
+}
+
+func TestPostProcessRespectsMinSize(t *testing.T) {
+	p := mqo.PaperExample()
+	g := BuildGraph(p)
+	p1, p2 := PostProcess(g, []int{0, 2}, []int{1, 3}, 10, 2)
+	if len(p1) < 2 {
+		t.Errorf("part1 shrank below minSize: %v | %v", p1, p2)
+	}
+	if len(p1)+len(p2) != 4 {
+		t.Errorf("queries lost: %v | %v", p1, p2)
+	}
+}
+
+func TestPostProcessStableOnGoodCut(t *testing.T) {
+	p := mqo.PaperExample()
+	g := BuildGraph(p)
+	// The optimal cut (q1,q2)|(q3,q4) must not change.
+	p1, p2 := PostProcess(g, []int{0, 1}, []int{2, 3}, 4, 1)
+	if len(p1) != 2 || len(p2) != 2 {
+		t.Errorf("optimal cut disturbed: %v | %v", p1, p2)
+	}
+}
+
+func TestPostProcessBestPicksLowerCut(t *testing.T) {
+	p := mqo.PaperExample()
+	g := BuildGraph(p)
+	a1, a2 := PostProcessBest(g, []int{0, 2}, []int{1, 3}, 4, 1)
+	cut := g.CutWeight(a1, a2)
+	b1, b2 := PostProcess(g, []int{0, 2}, []int{1, 3}, 4, 1)
+	c1, c2 := PostProcess(g, []int{1, 3}, []int{0, 2}, 4, 1)
+	minCut := g.CutWeight(b1, b2)
+	if alt := g.CutWeight(c1, c2); alt < minCut {
+		minCut = alt
+	}
+	if cut != minCut {
+		t.Errorf("PostProcessBest cut = %v, want %v", cut, minCut)
+	}
+}
+
+func TestPartitionPaperExample(t *testing.T) {
+	p := mqo.PaperExample()
+	res, err := Partition(context.Background(), p, Options{
+		Capacity: 4,
+		Solver:   &da.Solver{CapacityVars: 64},
+		Runs:     4,
+		Sweeps:   500,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SubProblems) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(res.SubProblems))
+	}
+	// The minimal cut is (q1,q2)|(q3,q4) with 10 discarded savings.
+	if res.DiscardedSavings != 10 {
+		t.Errorf("discarded savings = %v, want 10", res.DiscardedSavings)
+	}
+	for _, qs := range res.QuerySets {
+		if len(qs) != 2 {
+			t.Errorf("unbalanced query sets: %v", res.QuerySets)
+		}
+	}
+	if res.Bisections != 1 {
+		t.Errorf("bisections = %d, want 1", res.Bisections)
+	}
+}
+
+func TestPartitionRequiresCapacity(t *testing.T) {
+	p := mqo.PaperExample()
+	if _, err := Partition(context.Background(), p, Options{}); err == nil {
+		t.Error("Partition accepted zero capacity")
+	}
+}
+
+func TestPartitionNoOpWithinCapacity(t *testing.T) {
+	p := mqo.PaperExample()
+	res, err := Partition(context.Background(), p, Options{Capacity: 100, Solver: &sa.Solver{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SubProblems) != 1 || res.Bisections != 0 {
+		t.Errorf("within-capacity problem was split: %d partitions, %d bisections", len(res.SubProblems), res.Bisections)
+	}
+}
+
+func TestPartitionCapacityInvariantProperty(t *testing.T) {
+	// Property: every partial problem respects the capacity; every query
+	// lands in exactly one partition.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		queries := 6 + rng.Intn(10)
+		ppq := 2 + rng.Intn(3)
+		p := randomProblem(rng, queries, ppq, 0.2)
+		capacity := ppq * (2 + rng.Intn(3))
+		res, err := Partition(context.Background(), p, Options{
+			Capacity: capacity,
+			Solver:   &sa.Solver{},
+			Runs:     2,
+			Sweeps:   100,
+			Seed:     seed,
+		})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, queries)
+		for _, qs := range res.QuerySets {
+			weight := 0
+			for _, q := range qs {
+				if seen[q] {
+					return false
+				}
+				seen[q] = true
+				weight += len(p.Plans(q))
+			}
+			if len(qs) > 1 && weight > capacity {
+				return false
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFallbackSplitBalances(t *testing.T) {
+	p := mqo.PaperExample()
+	g := BuildGraph(p)
+	p1, p2 := fallbackSplit(g)
+	if len(p1) == 0 || len(p2) == 0 {
+		t.Fatalf("fallback produced empty side: %v | %v", p1, p2)
+	}
+	if g.PlanWeight(p1) != g.PlanWeight(p2) {
+		t.Errorf("fallback imbalanced: %v vs %v", g.PlanWeight(p1), g.PlanWeight(p2))
+	}
+}
+
+// randomProblem builds a random valid instance for property tests.
+func randomProblem(rng *rand.Rand, queries, ppq int, density float64) *mqo.Problem {
+	costs := make([][]float64, queries)
+	for q := range costs {
+		cs := make([]float64, ppq)
+		for i := range cs {
+			cs[i] = 1 + rng.Float64()*19
+		}
+		costs[q] = cs
+	}
+	var savings []mqo.Saving
+	for q1 := 0; q1 < queries; q1++ {
+		for q2 := q1 + 1; q2 < queries; q2++ {
+			for i := 0; i < ppq; i++ {
+				for j := 0; j < ppq; j++ {
+					if rng.Float64() < density {
+						savings = append(savings, mqo.Saving{
+							P1:    q1*ppq + i,
+							P2:    q2*ppq + j,
+							Value: 1 + rng.Float64()*9,
+						})
+					}
+				}
+			}
+		}
+	}
+	p, err := mqo.NewProblem(costs, savings)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

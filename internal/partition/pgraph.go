@@ -1,0 +1,143 @@
+// Package partition implements the problem-partitioning phase of the
+// paper's incremental method (Sec. 4.1): compressing an MQO problem into a
+// partitioning graph, bisecting that graph on a quantum(-inspired) device
+// via the QUBO encoding of Sec. 4.1.2, refining the split with the
+// post-processing pass of Algorithm 1, and recursing until every partial
+// problem fits the device's variable capacity.
+package partition
+
+import (
+	"sort"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+)
+
+// Graph is the partitioning graph of Sec. 4.1.1: one weighted node per
+// query (weight = number of alternative plans) and one weighted edge per
+// query pair sharing at least one cost saving (weight = accumulated saving
+// value between their plans).
+type Graph struct {
+	// NodeWeights[q] = |P_q|.
+	NodeWeights []float64
+	// Edges lists query pairs with accumulated savings, U < V, sorted.
+	Edges []encoding.WeightedEdge
+	// adjacency[q] maps neighbour query -> accumulated saving weight.
+	adjacency []map[int]float64
+}
+
+// BuildGraph compresses p into its partitioning graph.
+func BuildGraph(p *mqo.Problem) *Graph {
+	g := &Graph{
+		NodeWeights: make([]float64, p.NumQueries()),
+		adjacency:   make([]map[int]float64, p.NumQueries()),
+	}
+	for q := 0; q < p.NumQueries(); q++ {
+		g.NodeWeights[q] = float64(len(p.Plans(q)))
+		g.adjacency[q] = make(map[int]float64)
+	}
+	for _, s := range p.Savings() {
+		q1, q2 := p.QueryOf(s.P1), p.QueryOf(s.P2)
+		g.adjacency[q1][q2] += s.Value
+		g.adjacency[q2][q1] += s.Value
+	}
+	for u, nb := range g.adjacency {
+		for v, w := range nb {
+			if u < v {
+				g.Edges = append(g.Edges, encoding.WeightedEdge{U: u, V: v, Weight: w})
+			}
+		}
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].U != g.Edges[j].U {
+			return g.Edges[i].U < g.Edges[j].U
+		}
+		return g.Edges[i].V < g.Edges[j].V
+	})
+	return g
+}
+
+// NumNodes returns the number of query nodes.
+func (g *Graph) NumNodes() int { return len(g.NodeWeights) }
+
+// EdgeWeight returns the accumulated saving weight between two queries, or
+// zero when their plans share no savings.
+func (g *Graph) EdgeWeight(q1, q2 int) float64 { return g.adjacency[q1][q2] }
+
+// AccumulatedSavings returns Σ_{other∈set, other≠query} ω(query, other):
+// the conformance of query to the given query set (AccSavToP1/AccSavToP2 of
+// Algorithm 1).
+func (g *Graph) AccumulatedSavings(query int, set []int) float64 {
+	var t float64
+	nb := g.adjacency[query]
+	for _, other := range set {
+		if other != query {
+			t += nb[other]
+		}
+	}
+	return t
+}
+
+// PlanWeight returns the accumulated node weight (total plan count) of a
+// query set — the variable count its partial problem's QUBO will need.
+func (g *Graph) PlanWeight(set []int) float64 {
+	var t float64
+	for _, q := range set {
+		t += g.NodeWeights[q]
+	}
+	return t
+}
+
+// CutWeight returns the accumulated edge weight between the two query sets:
+// the savings magnitude a partitioning into these sets discards.
+func (g *Graph) CutWeight(part1, part2 []int) float64 {
+	in1 := make(map[int]bool, len(part1))
+	for _, q := range part1 {
+		in1[q] = true
+	}
+	var cut float64
+	for _, q := range part2 {
+		for other, w := range g.adjacency[q] {
+			if in1[other] {
+				cut += w
+			}
+		}
+	}
+	return cut
+}
+
+// Subgraph returns the induced partitioning graph over the given queries,
+// re-numbered 0..len(queries)-1 in the given order.
+func (g *Graph) Subgraph(queries []int) *Graph {
+	localOf := make(map[int]int, len(queries))
+	for li, q := range queries {
+		localOf[q] = li
+	}
+	sub := &Graph{
+		NodeWeights: make([]float64, len(queries)),
+		adjacency:   make([]map[int]float64, len(queries)),
+	}
+	for li, q := range queries {
+		sub.NodeWeights[li] = g.NodeWeights[q]
+		sub.adjacency[li] = make(map[int]float64)
+	}
+	for li, q := range queries {
+		for other, w := range g.adjacency[q] {
+			lo, ok := localOf[other]
+			if !ok {
+				continue
+			}
+			sub.adjacency[li][lo] = w
+			if li < lo {
+				sub.Edges = append(sub.Edges, encoding.WeightedEdge{U: li, V: lo, Weight: w})
+			}
+		}
+	}
+	sort.Slice(sub.Edges, func(i, j int) bool {
+		if sub.Edges[i].U != sub.Edges[j].U {
+			return sub.Edges[i].U < sub.Edges[j].U
+		}
+		return sub.Edges[i].V < sub.Edges[j].V
+	})
+	return sub
+}

@@ -1,0 +1,66 @@
+package partition
+
+// PostProcess implements Algorithm 1 of the paper: it shifts queries from
+// part1 to part2 whenever their accumulated savings (conformance) to part2
+// exceed those to their own partition, repeating for numParses parses so
+// that shifts of strongly associated queries can cascade, and never
+// shrinking part1 below minSize queries. It returns the adjusted
+// partitions; the inputs are not modified.
+//
+// The QUBO minimisation guarantees *balanced* partitions (Theorem 4.5);
+// this pass re-introduces controlled imbalance when that recovers discarded
+// savings, with minSize giving full control over the minimum partition size
+// required to achieve a sufficient problem-size reduction.
+func PostProcess(g *Graph, part1, part2 []int, numParses, minSize int) ([]int, []int) {
+	p1 := append([]int(nil), part1...)
+	p2 := append([]int(nil), part2...)
+	if numParses <= 0 {
+		return p1, p2
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	for parse := 0; parse < numParses; parse++ {
+		moved := false
+		// Iterate over a snapshot: Algorithm 1 removes from part1 while
+		// scanning it.
+		snapshot := append([]int(nil), p1...)
+		for _, query := range snapshot {
+			if len(p1) <= minSize {
+				break
+			}
+			p1Conf := g.AccumulatedSavings(query, p1)
+			p2Conf := g.AccumulatedSavings(query, p2)
+			if p1Conf < p2Conf {
+				p1 = remove(p1, query)
+				p2 = append(p2, query)
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return p1, p2
+}
+
+// PostProcessBest runs PostProcess on both possible partition orientations
+// — the outcome depends on which set sheds queries — and returns the result
+// with the lower cut weight, as the paper recommends.
+func PostProcessBest(g *Graph, part1, part2 []int, numParses, minSize int) ([]int, []int) {
+	a1, a2 := PostProcess(g, part1, part2, numParses, minSize)
+	b2, b1 := PostProcess(g, part2, part1, numParses, minSize)
+	if g.CutWeight(a1, a2) <= g.CutWeight(b1, b2) {
+		return a1, a2
+	}
+	return b1, b2
+}
+
+func remove(set []int, query int) []int {
+	for i, q := range set {
+		if q == query {
+			return append(set[:i], set[i+1:]...)
+		}
+	}
+	return set
+}

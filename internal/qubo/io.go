@@ -1,0 +1,99 @@
+package qubo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the de-facto standard ".qubo" interchange format
+// popularised by D-Wave's qbsolv tool, so models can move between this
+// repository's device simulators and external QUBO tooling:
+//
+//	c comment lines
+//	p qubo topology maxNodes nNodes nCouplers
+//	i i w        (node line: linear coefficient of variable i)
+//	i j w        (coupler line: quadratic coefficient, i < j)
+
+// WriteModel writes m in qbsolv .qubo format.
+func WriteModel(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	nodes := 0
+	for i := 0; i < m.NumVariables(); i++ {
+		if m.Linear(i) != 0 {
+			nodes++
+		}
+	}
+	fmt.Fprintf(bw, "c QUBO written by incranneal\n")
+	fmt.Fprintf(bw, "p qubo 0 %d %d %d\n", m.NumVariables(), nodes, m.NumTerms())
+	for i := 0; i < m.NumVariables(); i++ {
+		if c := m.Linear(i); c != 0 {
+			fmt.Fprintf(bw, "%d %d %g\n", i, i, c)
+		}
+	}
+	for _, t := range m.Terms() {
+		fmt.Fprintf(bw, "%d %d %g\n", t.I, t.J, t.Coeff)
+	}
+	return bw.Flush()
+}
+
+// ReadModel parses a qbsolv .qubo file. The topology and counts of the
+// program line are validated loosely (several producers emit inexact
+// counts); coefficients for repeated entries accumulate, as in qbsolv.
+func ReadModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "p" {
+			if b != nil {
+				return nil, fmt.Errorf("qubo: line %d: duplicate program line", line)
+			}
+			if len(fields) < 4 || fields[1] != "qubo" {
+				return nil, fmt.Errorf("qubo: line %d: malformed program line %q", line, text)
+			}
+			maxNodes, err := strconv.Atoi(fields[3])
+			if err != nil || maxNodes <= 0 {
+				return nil, fmt.Errorf("qubo: line %d: invalid variable count %q", line, fields[3])
+			}
+			b = NewBuilder(maxNodes)
+			continue
+		}
+		if b == nil {
+			return nil, fmt.Errorf("qubo: line %d: coefficient before program line", line)
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("qubo: line %d: want 'i j w', got %q", line, text)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		wv, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("qubo: line %d: malformed coefficient %q", line, text)
+		}
+		if i < 0 || j < 0 || i >= b.n || j >= b.n {
+			return nil, fmt.Errorf("qubo: line %d: variable out of range in %q", line, text)
+		}
+		if i == j {
+			b.AddLinear(i, wv)
+		} else {
+			b.AddQuadratic(i, j, wv)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("qubo: no program line found")
+	}
+	return b.Build(), nil
+}

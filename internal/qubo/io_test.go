@@ -1,0 +1,96 @@
+package qubo
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelIORoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng, 10, 0.4)
+		var buf bytes.Buffer
+		if err := WriteModel(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadModel(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVariables() != m.NumVariables() || back.NumTerms() != m.NumTerms() {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			x := randomAssignment(rng, 10)
+			if math.Abs(back.Energy(x)-m.Energy(x)) > 1e-9*math.Max(1, math.Abs(m.Energy(x))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadModelAccumulatesDuplicates(t *testing.T) {
+	src := `c a comment
+p qubo 0 3 1 2
+0 0 2.5
+0 0 1.5
+0 2 -1
+2 0 -1
+`
+	m, err := ReadModel(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Linear(0); got != 4 {
+		t.Errorf("accumulated linear = %v, want 4", got)
+	}
+	if got := m.NumTerms(); got != 1 {
+		t.Fatalf("terms = %d, want 1", got)
+	}
+	if got := m.Terms()[0].Coeff; got != -2 {
+		t.Errorf("accumulated coupler = %v, want −2", got)
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                                 // no program line
+		"0 0 1\n",                          // coefficient before program line
+		"p qubo 0 zero 0 0\n",              // bad variable count
+		"p qubo 0 2 0 0\np qubo 0 2 0 0\n", // duplicate program line
+		"p spin 0 2 0 0\n",                 // wrong topology keyword
+		"p qubo 0 2 0 0\n0 5 1\n",          // variable out of range
+		"p qubo 0 2 0 0\n0 1\n",            // malformed coefficient line
+		"p qubo 0 2 0 0\n0 1 xyz\n",        // non-numeric weight
+	}
+	for _, src := range cases {
+		if _, err := ReadModel(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadModel accepted %q", src)
+		}
+	}
+}
+
+func TestWriteModelSkipsZeroLinears(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddLinear(1, 7)
+	b.AddQuadratic(0, 2, -3)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "0 0 ") {
+		t.Errorf("zero linear emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "p qubo 0 3 1 1") {
+		t.Errorf("program line wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,95 @@
+package qubo
+
+// Ising is the spin formulation equivalent to a QUBO (footnote 2 of the
+// paper): H(s) = Σ_i h_i·s_i + Σ_{i<j} J_ij·s_i·s_j with s_i ∈ {−1,+1}.
+// The partitioning encoding of Sec. 4.1.2 is naturally expressed over
+// spins; ToQUBO converts it for the binary-variable devices via the
+// substitution s = 2x − 1.
+type Ising struct {
+	n        int
+	h        []float64
+	j        map[[2]int]float64
+	constant float64
+}
+
+// NewIsing returns an empty Ising model over n spins.
+func NewIsing(n int) *Ising {
+	return &Ising{n: n, h: make([]float64, n), j: make(map[[2]int]float64)}
+}
+
+// NumSpins returns the number of spin variables.
+func (is *Ising) NumSpins() int { return is.n }
+
+// AddField adds c to the external field h_i of spin i.
+func (is *Ising) AddField(i int, c float64) { is.h[i] += c }
+
+// AddCoupling adds c to the coupling J_ij between distinct spins i and j
+// (order-insensitive). Coupling a spin to itself adds a constant, since
+// s·s = 1.
+func (is *Ising) AddCoupling(i, jj int, c float64) {
+	if i == jj {
+		is.constant += c
+		return
+	}
+	if i > jj {
+		i, jj = jj, i
+	}
+	is.j[[2]int{i, jj}] += c
+}
+
+// AddConstant adds c to the constant energy offset.
+func (is *Ising) AddConstant(c float64) { is.constant += c }
+
+// Energy evaluates H(s) for spins s_i ∈ {−1,+1}.
+func (is *Ising) Energy(s []int8) float64 {
+	e := is.constant
+	for i, hi := range is.h {
+		e += hi * float64(s[i])
+	}
+	for k, c := range is.j {
+		e += c * float64(s[k[0]]) * float64(s[k[1]])
+	}
+	return e
+}
+
+// ToQUBO converts the Ising model to an equivalent QUBO via s_i = 2x_i − 1.
+// Minima correspond one-to-one: spin +1 maps to x = 1. The constant energy
+// shift is dropped (it does not affect minima).
+func (is *Ising) ToQUBO() *Model {
+	b := NewBuilder(is.n)
+	for i, hi := range is.h {
+		// h·s = h·(2x−1) = 2h·x − h.
+		b.AddLinear(i, 2*hi)
+	}
+	for k, c := range is.j {
+		// J·s_i·s_j = J·(2x_i−1)(2x_j−1) = 4J·x_i·x_j − 2J·x_i − 2J·x_j + J.
+		b.AddQuadratic(k[0], k[1], 4*c)
+		b.AddLinear(k[0], -2*c)
+		b.AddLinear(k[1], -2*c)
+	}
+	return b.Build()
+}
+
+// SpinsFromBinary converts a binary assignment to spins (+1 for 1, −1 for 0).
+func SpinsFromBinary(x []int8) []int8 {
+	s := make([]int8, len(x))
+	for i, xi := range x {
+		if xi != 0 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}
+
+// BinaryFromSpins converts spins to binary variables (1 for +1, 0 for −1).
+func BinaryFromSpins(s []int8) []int8 {
+	x := make([]int8, len(s))
+	for i, si := range s {
+		if si > 0 {
+			x[i] = 1
+		}
+	}
+	return x
+}

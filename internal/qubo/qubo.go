@@ -1,0 +1,164 @@
+// Package qubo implements the quadratic unconstrained binary optimisation
+// (QUBO) formalism required by all quantum(-inspired) annealing devices
+// (Sec. 2.1 of the paper), together with the equivalent Ising spin model.
+//
+// A QUBO instance is the multivariate polynomial
+//
+//	f(x) = Σ_i c_ii·x_i + Σ_{i<j} c_ij·x_i·x_j,  x_i ∈ {0,1},
+//
+// whose minimum-energy configurations encode optimal solutions of the
+// original problem. The package provides sparse models, exact and
+// incremental energy evaluation (the O(degree) local-field updates that
+// hardware annealers perform in parallel), and spin/binary conversions.
+package qubo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Term is one quadratic coefficient c_ij between variables I < J.
+type Term struct {
+	I, J  int
+	Coeff float64
+}
+
+// Model is an immutable sparse QUBO instance. Construct it with a Builder.
+type Model struct {
+	n      int
+	linear []float64
+	// terms holds all quadratic terms with I < J, sorted lexicographically.
+	terms []Term
+	// adj[i] lists (neighbour, coefficient) pairs for variable i, covering
+	// every quadratic term incident to i.
+	adj [][]neighbour
+}
+
+type neighbour struct {
+	j     int
+	coeff float64
+}
+
+// Builder accumulates QUBO coefficients. Repeated additions to the same
+// (pair of) variable(s) sum up, so encodings can be composed additively
+// (e.g. H = ω_A·H_A + H_B).
+type Builder struct {
+	n      int
+	linear []float64
+	quad   map[[2]int]float64
+}
+
+// NewBuilder returns a builder for a QUBO over n binary variables.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("qubo: negative variable count")
+	}
+	return &Builder{n: n, linear: make([]float64, n), quad: make(map[[2]int]float64)}
+}
+
+// AddLinear adds c to the linear coefficient c_ii of variable i.
+func (b *Builder) AddLinear(i int, c float64) {
+	b.check(i)
+	b.linear[i] += c
+}
+
+// AddQuadratic adds c to the quadratic coefficient c_ij of the distinct
+// variables i and j (order-insensitive). Adding a quadratic term for i == j
+// folds into the linear coefficient, since x·x = x for binary x.
+func (b *Builder) AddQuadratic(i, j int, c float64) {
+	b.check(i)
+	b.check(j)
+	if i == j {
+		b.linear[i] += c
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	b.quad[[2]int{i, j}] += c
+}
+
+// AddConstant is accepted for encoding completeness but ignored: constants
+// shift every configuration's energy equally and do not affect minima.
+func (b *Builder) AddConstant(float64) {}
+
+func (b *Builder) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("qubo: variable %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Build finalises the accumulated coefficients into an immutable Model,
+// dropping exact-zero quadratic terms.
+func (b *Builder) Build() *Model {
+	m := &Model{n: b.n, linear: make([]float64, b.n), adj: make([][]neighbour, b.n)}
+	copy(m.linear, b.linear)
+	m.terms = make([]Term, 0, len(b.quad))
+	for k, c := range b.quad {
+		if c == 0 {
+			continue
+		}
+		m.terms = append(m.terms, Term{I: k[0], J: k[1], Coeff: c})
+	}
+	sort.Slice(m.terms, func(i, j int) bool {
+		if m.terms[i].I != m.terms[j].I {
+			return m.terms[i].I < m.terms[j].I
+		}
+		return m.terms[i].J < m.terms[j].J
+	})
+	for _, t := range m.terms {
+		m.adj[t.I] = append(m.adj[t.I], neighbour{j: t.J, coeff: t.Coeff})
+		m.adj[t.J] = append(m.adj[t.J], neighbour{j: t.I, coeff: t.Coeff})
+	}
+	return m
+}
+
+// NumVariables returns the number of binary variables.
+func (m *Model) NumVariables() int { return m.n }
+
+// NumTerms returns the number of non-zero quadratic terms.
+func (m *Model) NumTerms() int { return len(m.terms) }
+
+// Linear returns the linear coefficient of variable i.
+func (m *Model) Linear(i int) float64 { return m.linear[i] }
+
+// Terms returns all quadratic terms, sorted with I < J. The slice is owned
+// by the model and must not be modified.
+func (m *Model) Terms() []Term { return m.terms }
+
+// Degree returns the number of quadratic terms incident to variable i.
+func (m *Model) Degree(i int) int { return len(m.adj[i]) }
+
+// Energy evaluates f(x) for the given assignment (len(x) must equal
+// NumVariables; entries are 0 or 1).
+func (m *Model) Energy(x []int8) float64 {
+	if len(x) != m.n {
+		panic(fmt.Sprintf("qubo: state length %d, want %d", len(x), m.n))
+	}
+	var e float64
+	for i, c := range m.linear {
+		if x[i] != 0 {
+			e += c
+		}
+	}
+	for _, t := range m.terms {
+		if x[t.I] != 0 && x[t.J] != 0 {
+			e += t.Coeff
+		}
+	}
+	return e
+}
+
+// MaxAbsCoefficient returns the largest absolute linear or quadratic
+// coefficient; solvers use it to scale initial temperatures.
+func (m *Model) MaxAbsCoefficient() float64 {
+	var mx float64
+	for _, c := range m.linear {
+		mx = math.Max(mx, math.Abs(c))
+	}
+	for _, t := range m.terms {
+		mx = math.Max(mx, math.Abs(t.Coeff))
+	}
+	return mx
+}

@@ -1,0 +1,215 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomModel builds a random QUBO for property tests.
+func randomModel(rng *rand.Rand, n int, density float64) *Model {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddLinear(i, rng.NormFloat64()*10)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				b.AddQuadratic(i, j, rng.NormFloat64()*10)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randomAssignment(rng *rand.Rand, n int) []int8 {
+	x := make([]int8, n)
+	for i := range x {
+		x[i] = int8(rng.Intn(2))
+	}
+	return x
+}
+
+func TestBuilderAccumulates(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddLinear(0, 2)
+	b.AddLinear(0, 3)
+	b.AddQuadratic(0, 1, 1)
+	b.AddQuadratic(1, 0, 2) // order-insensitive, sums to 3
+	b.AddQuadratic(2, 2, 7) // folds into linear of 2
+	m := b.Build()
+	if got := m.Linear(0); got != 5 {
+		t.Errorf("Linear(0) = %v, want 5", got)
+	}
+	if got := m.Linear(2); got != 7 {
+		t.Errorf("Linear(2) = %v, want 7 (x²=x fold)", got)
+	}
+	if got := m.NumTerms(); got != 1 {
+		t.Fatalf("NumTerms = %d, want 1", got)
+	}
+	if tm := m.Terms()[0]; tm.I != 0 || tm.J != 1 || tm.Coeff != 3 {
+		t.Errorf("term = %+v, want {0 1 3}", tm)
+	}
+}
+
+func TestBuilderDropsZeroTerms(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddQuadratic(0, 1, 5)
+	b.AddQuadratic(0, 1, -5)
+	m := b.Build()
+	if m.NumTerms() != 0 {
+		t.Errorf("zero-sum quadratic term kept: %v", m.Terms())
+	}
+}
+
+func TestEnergyKnownValues(t *testing.T) {
+	// f(x) = 2x0 − 3x1 + 4x0x1.
+	b := NewBuilder(2)
+	b.AddLinear(0, 2)
+	b.AddLinear(1, -3)
+	b.AddQuadratic(0, 1, 4)
+	m := b.Build()
+	cases := []struct {
+		x    []int8
+		want float64
+	}{
+		{[]int8{0, 0}, 0},
+		{[]int8{1, 0}, 2},
+		{[]int8{0, 1}, -3},
+		{[]int8{1, 1}, 3},
+	}
+	for _, tc := range cases {
+		if got := m.Energy(tc.x); got != tc.want {
+			t.Errorf("Energy(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestStateIncrementalMatchesDirect(t *testing.T) {
+	// Property: after arbitrary flip sequences, incremental energy and
+	// delta match direct evaluation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng, 12, 0.5)
+		st := NewRandomState(m, rng)
+		for step := 0; step < 50; step++ {
+			v := rng.Intn(m.NumVariables())
+			before := m.Energy(st.Assignment())
+			delta := st.DeltaEnergy(v)
+			st.Flip(v)
+			after := m.Energy(st.Assignment())
+			if math.Abs(st.Energy()-after) > 1e-6 {
+				return false
+			}
+			if math.Abs((after-before)-delta) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomModel(rng, 10, 0.4)
+	st := NewState(m)
+	x := randomAssignment(rng, 10)
+	st.Reset(x)
+	if math.Abs(st.Energy()-m.Energy(x)) > 1e-9 {
+		t.Errorf("Reset energy = %v, want %v", st.Energy(), m.Energy(x))
+	}
+	for v := 0; v < 10; v++ {
+		if st.Get(v) != x[v] {
+			t.Fatalf("Reset lost assignment at %d", v)
+		}
+	}
+}
+
+func TestStateCopyIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomModel(rng, 8, 0.5)
+	st := NewRandomState(m, rng)
+	cp := st.Copy()
+	before := cp.Energy()
+	st.Flip(0)
+	if cp.Energy() != before {
+		t.Error("Copy shares state with original")
+	}
+}
+
+func TestMaxAbsCoefficient(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddLinear(0, -7)
+	b.AddQuadratic(1, 2, 3)
+	m := b.Build()
+	if got := m.MaxAbsCoefficient(); got != 7 {
+		t.Errorf("MaxAbsCoefficient = %v, want 7", got)
+	}
+}
+
+func TestIsingQUBOEquivalenceProperty(t *testing.T) {
+	// Property: for every assignment, Ising energy (spins) and converted
+	// QUBO energy (binaries) differ by exactly the dropped constant.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		is := NewIsing(n)
+		for i := 0; i < n; i++ {
+			is.AddField(i, rng.NormFloat64()*5)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					is.AddCoupling(i, j, rng.NormFloat64()*5)
+				}
+			}
+		}
+		m := is.ToQUBO()
+		// The constant offset is assignment-independent; measure it once.
+		x0 := make([]int8, n)
+		offset := is.Energy(SpinsFromBinary(x0)) - m.Energy(x0)
+		for trial := 0; trial < 20; trial++ {
+			x := randomAssignment(rng, n)
+			isingE := is.Energy(SpinsFromBinary(x))
+			quboE := m.Energy(x)
+			if math.Abs((isingE-quboE)-offset) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpinBinaryConversionRoundTrip(t *testing.T) {
+	x := []int8{0, 1, 1, 0, 1}
+	s := SpinsFromBinary(x)
+	want := []int8{-1, 1, 1, -1, 1}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("SpinsFromBinary = %v, want %v", s, want)
+		}
+	}
+	back := BinaryFromSpins(s)
+	for i := range back {
+		if back[i] != x[i] {
+			t.Fatalf("round trip = %v, want %v", back, x)
+		}
+	}
+}
+
+func TestIsingSelfCouplingIsConstant(t *testing.T) {
+	is := NewIsing(2)
+	is.AddCoupling(0, 0, 5) // s·s = 1 → constant
+	e1 := is.Energy([]int8{1, 1})
+	e2 := is.Energy([]int8{-1, -1})
+	if e1 != 5 || e2 != 5 {
+		t.Errorf("self-coupling energies = %v, %v, want 5, 5", e1, e2)
+	}
+}

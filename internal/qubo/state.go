@@ -1,0 +1,102 @@
+package qubo
+
+import "math/rand"
+
+// State is a mutable variable assignment for a Model with incrementally
+// maintained local fields, mirroring what annealing hardware keeps per
+// variable: field[i] = c_ii + Σ_j c_ij·x_j, so that the energy change of
+// flipping variable i is available in O(1) and a flip updates neighbours in
+// O(degree). This is the data structure behind both the classical SA
+// baseline and the Digital Annealer simulator's parallel trial step.
+type State struct {
+	m      *Model
+	x      []int8
+	fields []float64
+	energy float64
+}
+
+// NewState returns the all-zero state of m (energy 0 by construction, since
+// constants are dropped at build time).
+func NewState(m *Model) *State {
+	s := &State{m: m, x: make([]int8, m.n), fields: make([]float64, m.n)}
+	copy(s.fields, m.linear)
+	return s
+}
+
+// NewRandomState returns a uniformly random state of m drawn from rng.
+func NewRandomState(m *Model, rng *rand.Rand) *State {
+	s := NewState(m)
+	for i := 0; i < m.n; i++ {
+		if rng.Intn(2) == 1 {
+			s.Flip(i)
+		}
+	}
+	return s
+}
+
+// Reset sets every variable of s to the given assignment, recomputing
+// fields and energy from scratch.
+func (s *State) Reset(x []int8) {
+	if len(x) != s.m.n {
+		panic("qubo: reset with wrong state length")
+	}
+	copy(s.x, x)
+	copy(s.fields, s.m.linear)
+	for _, t := range s.m.terms {
+		if s.x[t.J] != 0 {
+			s.fields[t.I] += t.Coeff
+		}
+		if s.x[t.I] != 0 {
+			s.fields[t.J] += t.Coeff
+		}
+	}
+	s.energy = s.m.Energy(s.x)
+}
+
+// Model returns the model s assigns.
+func (s *State) Model() *Model { return s.m }
+
+// Get returns the value of variable i (0 or 1).
+func (s *State) Get(i int) int8 { return s.x[i] }
+
+// Assignment returns a copy of the current variable assignment.
+func (s *State) Assignment() []int8 {
+	out := make([]int8, len(s.x))
+	copy(out, s.x)
+	return out
+}
+
+// Energy returns the current energy f(x), maintained incrementally.
+func (s *State) Energy() float64 { return s.energy }
+
+// DeltaEnergy returns the energy change that flipping variable i would
+// cause, in O(1): (1−2x_i)·field_i.
+func (s *State) DeltaEnergy(i int) float64 {
+	if s.x[i] == 0 {
+		return s.fields[i]
+	}
+	return -s.fields[i]
+}
+
+// Flip toggles variable i, updating energy and neighbour fields in
+// O(degree(i)).
+func (s *State) Flip(i int) {
+	delta := s.DeltaEnergy(i)
+	var sign float64 = 1
+	if s.x[i] != 0 {
+		sign = -1
+	}
+	s.x[i] ^= 1
+	s.energy += delta
+	for _, nb := range s.m.adj[i] {
+		s.fields[nb.j] += sign * nb.coeff
+	}
+}
+
+// Copy returns an independent deep copy of s.
+func (s *State) Copy() *State {
+	c := &State{m: s.m, x: make([]int8, len(s.x)), fields: make([]float64, len(s.fields)), energy: s.energy}
+	copy(c.x, s.x)
+	copy(c.fields, s.fields)
+	return c
+}

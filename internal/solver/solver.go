@@ -1,0 +1,111 @@
+// Package solver defines the device-independent interface through which the
+// MQO pipeline talks to QUBO solvers — classical simulated annealing, the
+// Digital Annealer simulator and the hybrid quantum annealer simulator. The
+// abstraction carries each device's variable capacity, so the partitioning
+// phase can target any existing or future annealer (contribution 4 of the
+// paper).
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"incranneal/internal/qubo"
+)
+
+// Request describes one optimisation job.
+type Request struct {
+	// Model is the QUBO to minimise.
+	Model *qubo.Model
+	// Runs is the number of independent annealing runs; each yields one
+	// sample. The paper uses 16 runs per problem. Zero means the solver's
+	// default.
+	Runs int
+	// Sweeps is the per-run iteration budget (Monte-Carlo sweeps over all
+	// variables). The incremental strategy divides a constant total budget
+	// across partitions, as in the paper's setup. Zero means the solver's
+	// default.
+	Sweeps int
+	// Seed makes the run deterministic; runs derive sub-seeds from it.
+	Seed int64
+	// TimeBudget optionally bounds wall-clock time; zero means unbounded.
+	TimeBudget time.Duration
+}
+
+// Sample is one candidate assignment with its energy.
+type Sample struct {
+	Assignment []int8
+	Energy     float64
+}
+
+// Result collects the samples of all runs of a request.
+type Result struct {
+	// Samples holds one entry per run, sorted by ascending energy.
+	Samples []Sample
+	// Sweeps is the total number of sweeps actually performed.
+	Sweeps int
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+}
+
+// Best returns the lowest-energy sample. Results always contain at least
+// one sample.
+func (r *Result) Best() Sample { return r.Samples[0] }
+
+// SortSamples orders Samples by ascending energy (stable).
+func (r *Result) SortSamples() {
+	sort.SliceStable(r.Samples, func(i, j int) bool {
+		return r.Samples[i].Energy < r.Samples[j].Energy
+	})
+}
+
+// Solver is a QUBO minimiser with a device capacity.
+type Solver interface {
+	// Name identifies the device/algorithm (e.g. "sa", "da", "hqa").
+	Name() string
+	// Capacity returns the maximum number of variables the device can
+	// encode, or 0 for no limit. Requests exceeding a non-zero capacity
+	// fail with ErrCapacityExceeded.
+	Capacity() int
+	// Solve minimises the request's model. Implementations must respect
+	// ctx cancellation and return the best state found so far on
+	// cancellation rather than failing, unless no sample exists yet.
+	Solve(ctx context.Context, req Request) (*Result, error)
+}
+
+// LargeSolver is implemented by devices that ship their own vendor
+// decomposition for problems beyond their variable capacity (e.g. the
+// Digital Annealer's default partitioning mode, which handles up to 100,000
+// variables on the 8,192-variable device).
+type LargeSolver interface {
+	Solver
+	// SolveLarge minimises a model of arbitrary size, decomposing it
+	// internally when it exceeds the device capacity.
+	SolveLarge(ctx context.Context, req Request) (*Result, error)
+}
+
+// ErrCapacityExceeded reports that a request's model does not fit the
+// device.
+var ErrCapacityExceeded = errors.New("solver: problem exceeds device variable capacity")
+
+// CheckCapacity returns ErrCapacityExceeded (wrapped with sizes) when the
+// model of req does not fit s.
+func CheckCapacity(s Solver, m *qubo.Model) error {
+	if c := s.Capacity(); c > 0 && m.NumVariables() > c {
+		return fmt.Errorf("%w: %d variables > capacity %d of %s", ErrCapacityExceeded, m.NumVariables(), c, s.Name())
+	}
+	return nil
+}
+
+// Interrupted reports whether ctx has been cancelled or has expired.
+func Interrupted(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

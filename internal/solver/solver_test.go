@@ -1,0 +1,72 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"incranneal/internal/qubo"
+)
+
+type fakeSolver struct {
+	name string
+	cap  int
+}
+
+func (f *fakeSolver) Name() string  { return f.name }
+func (f *fakeSolver) Capacity() int { return f.cap }
+func (f *fakeSolver) Solve(ctx context.Context, req Request) (*Result, error) {
+	return &Result{Samples: []Sample{{Assignment: make([]int8, req.Model.NumVariables())}}}, nil
+}
+
+func model(n int) *qubo.Model {
+	b := qubo.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddLinear(i, 1)
+	}
+	return b.Build()
+}
+
+func TestCheckCapacity(t *testing.T) {
+	s := &fakeSolver{name: "dev", cap: 4}
+	if err := CheckCapacity(s, model(4)); err != nil {
+		t.Errorf("model at capacity rejected: %v", err)
+	}
+	err := CheckCapacity(s, model(5))
+	if err == nil {
+		t.Fatal("over-capacity model accepted")
+	}
+	if !errors.Is(err, ErrCapacityExceeded) {
+		t.Errorf("error %v does not wrap ErrCapacityExceeded", err)
+	}
+	unlimited := &fakeSolver{name: "sa", cap: 0}
+	if err := CheckCapacity(unlimited, model(100000)); err != nil {
+		t.Errorf("capacity-free solver rejected model: %v", err)
+	}
+}
+
+func TestResultBestAndSort(t *testing.T) {
+	r := &Result{Samples: []Sample{
+		{Energy: 3}, {Energy: -1}, {Energy: 0},
+	}}
+	r.SortSamples()
+	if r.Best().Energy != -1 {
+		t.Errorf("Best = %v, want −1", r.Best().Energy)
+	}
+	for i := 1; i < len(r.Samples); i++ {
+		if r.Samples[i].Energy < r.Samples[i-1].Energy {
+			t.Fatal("samples not sorted")
+		}
+	}
+}
+
+func TestInterrupted(t *testing.T) {
+	if Interrupted(context.Background()) {
+		t.Error("background context reported interrupted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !Interrupted(ctx) {
+		t.Error("cancelled context not reported interrupted")
+	}
+}

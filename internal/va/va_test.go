@@ -1,0 +1,99 @@
+package va
+
+import (
+	"context"
+	"testing"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/qubo"
+	"incranneal/internal/solver"
+)
+
+func TestSolvesPaperExampleToOptimum(t *testing.T) {
+	p := mqo.PaperExample()
+	enc, err := encoding.EncodeMQO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Solver{}
+	res, err := s.Solve(context.Background(), solver.Request{Model: enc.Model, Sweeps: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := enc.Decode(res.Best().Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Cost(p); got != 25 {
+		t.Errorf("VA cost on paper example = %v, want 25", got)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	s := &Solver{CapacityVars: 4}
+	b := qubo.NewBuilder(8)
+	b.AddLinear(0, 1)
+	if _, err := s.Solve(context.Background(), solver.Request{Model: b.Build(), Seed: 1}); err == nil {
+		t.Error("VA accepted over-capacity model")
+	}
+	if got := (&Solver{}).Capacity(); got != HardwareCapacity {
+		t.Errorf("default capacity = %d, want %d", got, HardwareCapacity)
+	}
+}
+
+func TestSampleCountFollowsRuns(t *testing.T) {
+	p := mqo.PaperExample()
+	enc, _ := encoding.EncodeMQO(p)
+	s := &Solver{Replicas: 8}
+	res, err := s.Solve(context.Background(), solver.Request{Model: enc.Model, Runs: 4, Sweeps: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 4 {
+		t.Errorf("samples = %d, want 4", len(res.Samples))
+	}
+	// Runs beyond the vector width clamp to the replica count.
+	res, err = s.Solve(context.Background(), solver.Request{Model: enc.Model, Runs: 100, Sweeps: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 8 {
+		t.Errorf("samples = %d, want 8 (vector width)", len(res.Samples))
+	}
+}
+
+func TestResamplingKeepsBest(t *testing.T) {
+	p := mqo.PaperExample()
+	enc, _ := encoding.EncodeMQO(p)
+	with := &Solver{Replicas: 8, ResampleEvery: 20}
+	without := &Solver{Replicas: 8, ResampleEvery: -1}
+	rw, err := with.Solve(context.Background(), solver.Request{Model: enc.Model, Sweeps: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := without.Solve(context.Background(), solver.Request{Model: enc.Model, Sweeps: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must produce decodable, reasonable samples; resampling must
+	// never lose the incumbent best.
+	if rw.Best().Energy > ro.Best().Energy+1e-9 && rw.Best().Energy > 0 {
+		t.Errorf("resampling degraded best energy: %v vs %v", rw.Best().Energy, ro.Best().Energy)
+	}
+}
+
+func TestRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := mqo.PaperExample()
+	enc, _ := encoding.EncodeMQO(p)
+	s := &Solver{}
+	res, err := s.Solve(ctx, solver.Request{Model: enc.Model, Sweeps: 1 << 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sweeps != 0 {
+		t.Errorf("performed %d sweeps despite cancelled context", res.Sweeps)
+	}
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"incranneal/internal/mqo"
+)
+
+// Relation is a base relation of a query-optimisation benchmark: its
+// cardinality and the relative frequency with which the benchmark's
+// original queries reference it. The extrapolation procedure of Sec. 5.3.1
+// rests on exactly these two statistics.
+type Relation struct {
+	Name        string
+	Cardinality int64
+	// Frequency is the fraction of original benchmark queries featuring
+	// the relation; a generated query includes the relation with this
+	// probability.
+	Frequency float64
+}
+
+// TemplateGroup models the community structure of a benchmark's query set:
+// a subset of relations that a share of the original queries draws from.
+// The paper observes JOB scenarios feature two roughly equal communities,
+// LDBC four equal ones, and TPC-H a 55/28/17% split; groups reproduce those
+// conformance-graph shapes.
+type TemplateGroup struct {
+	Name string
+	// Share is the fraction of generated queries drawn from this group.
+	Share float64
+	// Relations indexes into the catalogue's relation list.
+	Relations []int
+}
+
+// Catalogue bundles a benchmark's relation statistics.
+type Catalogue struct {
+	Benchmark string
+	Relations []Relation
+	Groups    []TemplateGroup
+}
+
+// BenchConfig parameterises the benchmark-derived generator.
+type BenchConfig struct {
+	Catalogue *Catalogue
+	// Queries and PPQ as in the sweep generator.
+	Queries, PPQ int
+	// SavingLow/High and CostLow/High as in the sweep generator (zeros
+	// mean [1,10] and [1,20]).
+	SavingLow, SavingHigh float64
+	CostLow, CostHigh     float64
+	// OffsetFactor as in the sweep generator; zero means 1.
+	OffsetFactor float64
+	Seed         int64
+}
+
+// BenchInstance couples the generated problem with its conformance
+// structure.
+type BenchInstance struct {
+	Problem *mqo.Problem
+	// RelationsOf[q] lists the catalogue relation indices of generated
+	// query q.
+	RelationsOf [][]int
+	// GroupOf[q] is the template group each query was drawn from — the
+	// community ground truth.
+	GroupOf []int
+	// Conformance[q1][q2] is the overlap metric c_{q1,q2} of Sec. 5.3.1.
+	Conformance [][]float64
+}
+
+// GenerateBench extrapolates an MQO scenario from a benchmark catalogue
+// following Sec. 5.3.1: each generated query samples relations from its
+// template group in proportion to their benchmark frequencies; the
+// conformance of a query pair is the accumulated cardinality of their
+// overlapping relations over the accumulated cardinality of all relations
+// of either query; and a saving is assigned between a pair of their plans
+// with probability equal to that conformance. Remaining parameters match
+// the sweep generator.
+func GenerateBench(cfg BenchConfig) (*BenchInstance, error) {
+	if cfg.Catalogue == nil {
+		return nil, fmt.Errorf("workload: nil catalogue")
+	}
+	if cfg.Queries <= 0 || cfg.PPQ <= 0 {
+		return nil, fmt.Errorf("workload: queries and PPQ must be positive (got %d, %d)", cfg.Queries, cfg.PPQ)
+	}
+	if cfg.SavingLow <= 0 && cfg.SavingHigh <= 0 {
+		cfg.SavingLow, cfg.SavingHigh = 1, 10
+	}
+	if cfg.CostLow <= 0 && cfg.CostHigh <= 0 {
+		cfg.CostLow, cfg.CostHigh = 1, 20
+	}
+	if cfg.OffsetFactor <= 0 {
+		cfg.OffsetFactor = 1
+	}
+	cat := cfg.Catalogue
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	inst := &BenchInstance{
+		RelationsOf: make([][]int, cfg.Queries),
+		GroupOf:     make([]int, cfg.Queries),
+	}
+	for q := 0; q < cfg.Queries; q++ {
+		g := sampleGroup(cat.Groups, rng)
+		inst.GroupOf[q] = g
+		inst.RelationsOf[q] = sampleRelations(cat, g, rng)
+	}
+	// Conformance c_{q1,q2} = Card_overlap / Card_total (Sec. 5.3.1).
+	inst.Conformance = make([][]float64, cfg.Queries)
+	for q := range inst.Conformance {
+		inst.Conformance[q] = make([]float64, cfg.Queries)
+	}
+	for q1 := 0; q1 < cfg.Queries; q1++ {
+		for q2 := q1 + 1; q2 < cfg.Queries; q2++ {
+			c := conformance(cat, inst.RelationsOf[q1], inst.RelationsOf[q2])
+			inst.Conformance[q1][q2] = c
+			inst.Conformance[q2][q1] = c
+		}
+	}
+	meanSaving := (cfg.SavingLow + cfg.SavingHigh) / 2
+	planCosts := make([][]float64, cfg.Queries)
+	for q := range planCosts {
+		var expected float64
+		for q2 := 0; q2 < cfg.Queries; q2++ {
+			if q2 != q {
+				expected += inst.Conformance[q][q2] * float64(cfg.PPQ) * meanSaving
+			}
+		}
+		offset := cfg.OffsetFactor * expected / 2
+		costs := make([]float64, cfg.PPQ)
+		for i := range costs {
+			costs[i] = cfg.CostLow + rng.Float64()*(cfg.CostHigh-cfg.CostLow) + offset
+		}
+		planCosts[q] = costs
+	}
+	var savings []mqo.Saving
+	pairTotal := cfg.PPQ * cfg.PPQ
+	for q1 := 0; q1 < cfg.Queries; q1++ {
+		for q2 := q1 + 1; q2 < cfg.Queries; q2++ {
+			d := inst.Conformance[q1][q2]
+			k := binomial(rng, pairTotal, d)
+			if k == 0 {
+				continue
+			}
+			for _, idx := range samplePairs(rng, pairTotal, k) {
+				i, j := idx/cfg.PPQ, idx%cfg.PPQ
+				savings = append(savings, mqo.Saving{
+					P1:    q1*cfg.PPQ + i,
+					P2:    q2*cfg.PPQ + j,
+					Value: cfg.SavingLow + rng.Float64()*(cfg.SavingHigh-cfg.SavingLow),
+				})
+			}
+		}
+	}
+	p, err := mqo.NewProblem(planCosts, savings)
+	if err != nil {
+		return nil, err
+	}
+	p.Name = fmt.Sprintf("%s-q%d-ppq%d-s%d", cat.Benchmark, cfg.Queries, cfg.PPQ, cfg.Seed)
+	inst.Problem = p
+	return inst, nil
+}
+
+func sampleGroup(groups []TemplateGroup, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, g := range groups {
+		acc += g.Share
+		if r < acc {
+			return i
+		}
+	}
+	return len(groups) - 1
+}
+
+// sampleRelations draws the relation set of one generated query: every
+// relation of the query's template group is included with its benchmark
+// frequency; at least two relations are guaranteed (falling back to the
+// group's most frequent) so every query joins something.
+func sampleRelations(cat *Catalogue, group int, rng *rand.Rand) []int {
+	g := cat.Groups[group]
+	var rels []int
+	for _, ri := range g.Relations {
+		if rng.Float64() < cat.Relations[ri].Frequency {
+			rels = append(rels, ri)
+		}
+	}
+	if len(rels) < 2 {
+		byFreq := append([]int(nil), g.Relations...)
+		sort.Slice(byFreq, func(a, b int) bool {
+			return cat.Relations[byFreq[a]].Frequency > cat.Relations[byFreq[b]].Frequency
+		})
+		for _, ri := range byFreq {
+			if len(rels) >= 2 {
+				break
+			}
+			if !contains(rels, ri) {
+				rels = append(rels, ri)
+			}
+		}
+	}
+	sort.Ints(rels)
+	return rels
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// conformance computes Card_overlap/Card_total for two relation sets
+// (sorted index slices).
+func conformance(cat *Catalogue, r1, r2 []int) float64 {
+	var overlap, total int64
+	i, j := 0, 0
+	for i < len(r1) && j < len(r2) {
+		switch {
+		case r1[i] == r2[j]:
+			overlap += cat.Relations[r1[i]].Cardinality
+			total += cat.Relations[r1[i]].Cardinality
+			i++
+			j++
+		case r1[i] < r2[j]:
+			total += cat.Relations[r1[i]].Cardinality
+			i++
+		default:
+			total += cat.Relations[r2[j]].Cardinality
+			j++
+		}
+	}
+	for ; i < len(r1); i++ {
+		total += cat.Relations[r1[i]].Cardinality
+	}
+	for ; j < len(r2); j++ {
+		total += cat.Relations[r2[j]].Cardinality
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(overlap) / float64(total)
+}

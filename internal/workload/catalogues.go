@@ -1,0 +1,101 @@
+package workload
+
+// The catalogues below carry the statistics the extrapolation procedure of
+// Sec. 5.3.1 needs from each query-optimisation benchmark: base-relation
+// cardinalities, the relative frequency with which the benchmark's original
+// queries reference each relation, and the community structure of the
+// resulting conformance graphs that the paper reports (JOB ≈ two roughly
+// equal communities, LDBC BI ≈ four equal ones, TPC-H ≈ one large (~55%),
+// one moderate (~28%) and one small (~17%) community). The benchmarks'
+// data and query sets themselves are not redistributable here; these
+// statistical stand-ins drive the same generator the paper describes.
+
+// TPCH returns the TPC-H catalogue (SF1 cardinalities; frequencies from
+// the 22 official queries).
+func TPCH() *Catalogue {
+	return &Catalogue{
+		Benchmark: "tpch",
+		Relations: []Relation{
+			{Name: "lineitem", Cardinality: 6001215, Frequency: 0.82}, // 0
+			{Name: "orders", Cardinality: 1500000, Frequency: 0.55},   // 1
+			{Name: "customer", Cardinality: 150000, Frequency: 0.36},  // 2
+			{Name: "part", Cardinality: 200000, Frequency: 0.32},      // 3
+			{Name: "partsupp", Cardinality: 800000, Frequency: 0.18},  // 4
+			{Name: "supplier", Cardinality: 10000, Frequency: 0.36},   // 5
+			{Name: "nation", Cardinality: 25, Frequency: 0.41},        // 6
+			{Name: "region", Cardinality: 5, Frequency: 0.14},         // 7
+		},
+		Groups: []TemplateGroup{
+			{Name: "order-analytics", Share: 0.55, Relations: []int{0, 1, 2, 6, 7}},
+			{Name: "part-supply", Share: 0.28, Relations: []int{0, 3, 4, 5, 6}},
+			{Name: "customer-market", Share: 0.17, Relations: []int{1, 2, 5, 6, 7}},
+		},
+	}
+}
+
+// JOB returns the join order benchmark catalogue (IMDB cardinalities;
+// frequencies from the 113 JOB queries).
+func JOB() *Catalogue {
+	return &Catalogue{
+		Benchmark: "job",
+		Relations: []Relation{
+			{Name: "title", Cardinality: 2528312, Frequency: 1.00},          // 0
+			{Name: "cast_info", Cardinality: 36244344, Frequency: 0.55},     // 1
+			{Name: "name", Cardinality: 4167491, Frequency: 0.45},           // 2
+			{Name: "char_name", Cardinality: 3140339, Frequency: 0.25},      // 3
+			{Name: "role_type", Cardinality: 12, Frequency: 0.30},           // 4
+			{Name: "aka_name", Cardinality: 901343, Frequency: 0.15},        // 5
+			{Name: "person_info", Cardinality: 2963664, Frequency: 0.12},    // 6
+			{Name: "movie_companies", Cardinality: 2609129, Frequency: 0.6}, // 7
+			{Name: "company_name", Cardinality: 234997, Frequency: 0.6},     // 8
+			{Name: "company_type", Cardinality: 4, Frequency: 0.35},         // 9
+			{Name: "movie_info", Cardinality: 14835720, Frequency: 0.55},    // 10
+			{Name: "info_type", Cardinality: 113, Frequency: 0.55},          // 11
+			{Name: "movie_keyword", Cardinality: 4523930, Frequency: 0.5},   // 12
+			{Name: "keyword", Cardinality: 134170, Frequency: 0.5},          // 13
+			{Name: "movie_info_idx", Cardinality: 1380035, Frequency: 0.3},  // 14
+			{Name: "kind_type", Cardinality: 7, Frequency: 0.2},             // 15
+		},
+		Groups: []TemplateGroup{
+			{Name: "cast-person", Share: 0.5, Relations: []int{0, 1, 2, 3, 4, 5, 6, 15}},
+			{Name: "production-content", Share: 0.5, Relations: []int{0, 7, 8, 9, 10, 11, 12, 13, 14}},
+		},
+	}
+}
+
+// LDBC returns the LDBC Social Network Benchmark BI catalogue (SF1
+// cardinalities; frequencies from the BI workload's read queries).
+func LDBC() *Catalogue {
+	return &Catalogue{
+		Benchmark: "ldbc",
+		Relations: []Relation{
+			{Name: "person", Cardinality: 10995, Frequency: 0.85},         // 0
+			{Name: "knows", Cardinality: 180623, Frequency: 0.45},         // 1
+			{Name: "post", Cardinality: 1121816, Frequency: 0.60},         // 2
+			{Name: "comment", Cardinality: 2172969, Frequency: 0.60},      // 3
+			{Name: "forum", Cardinality: 99750, Frequency: 0.35},          // 4
+			{Name: "forum_member", Cardinality: 1611869, Frequency: 0.30}, // 5
+			{Name: "tag", Cardinality: 16080, Frequency: 0.55},            // 6
+			{Name: "tagclass", Cardinality: 71, Frequency: 0.25},          // 7
+			{Name: "likes", Cardinality: 2190095, Frequency: 0.25},        // 8
+			{Name: "organisation", Cardinality: 7955, Frequency: 0.20},    // 9
+			{Name: "place", Cardinality: 1460, Frequency: 0.40},           // 10
+			{Name: "message_tag", Cardinality: 3902543, Frequency: 0.35},  // 11
+		},
+		Groups: []TemplateGroup{
+			{Name: "message-content", Share: 0.25, Relations: []int{2, 3, 6, 7, 11}},
+			{Name: "social-graph", Share: 0.25, Relations: []int{0, 1, 9, 10}},
+			{Name: "forum-activity", Share: 0.25, Relations: []int{0, 2, 4, 5}},
+			{Name: "engagement", Share: 0.25, Relations: []int{0, 3, 6, 8, 11}},
+		},
+	}
+}
+
+// Catalogues returns all built-in benchmark catalogues keyed by name.
+func Catalogues() map[string]*Catalogue {
+	return map[string]*Catalogue{
+		"tpch": TPCH(),
+		"job":  JOB(),
+		"ldbc": LDBC(),
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import "fmt"
+
+// The paper's evaluation corpus comprises 200 problems: a comprehensive
+// parameter sweep ("140 distinct MQO problems, with three generated
+// instances for each class") plus 60 problems generated from the TPC-H,
+// LDBC BI and JOB query-optimisation benchmarks. CorpusSpec enumerates
+// that corpus declaratively so it can be regenerated, persisted and
+// shrunk proportionally for reduced-scale runs.
+
+// CorpusEntry describes one problem of the corpus: exactly one of Sweep or
+// Bench is set.
+type CorpusEntry struct {
+	// ID is a stable, human-readable identifier (directory-safe).
+	ID string
+	// Class groups the instances of one parameter combination.
+	Class string
+	// Sweep is the generator configuration for parameter-sweep entries.
+	Sweep *SweepConfig
+	// Bench is the generator configuration for benchmark-derived entries.
+	Bench *BenchConfig
+}
+
+// Generate materialises the entry's problem.
+func (e CorpusEntry) Generate() (*Instance, *BenchInstance, error) {
+	switch {
+	case e.Sweep != nil:
+		in, err := GenerateSweep(*e.Sweep)
+		return in, nil, err
+	case e.Bench != nil:
+		in, err := GenerateBench(*e.Bench)
+		return nil, in, err
+	default:
+		return nil, nil, fmt.Errorf("workload: corpus entry %q has no generator", e.ID)
+	}
+}
+
+// CorpusSpec controls the corpus dimensions; the zero value is invalid,
+// use PaperCorpus or ScaledCorpus.
+type CorpusSpec struct {
+	// QuerySet, PPQSet, StandardPPQ: the sweep axes (Sec. 5.2).
+	QuerySet    []int
+	PPQSet      []int
+	StandardPPQ int
+	// CommunitySet for the community experiments.
+	CommunitySet []int
+	// DensityHighs for the density experiments (intervals [0.05, high]).
+	DensityHighs []float64
+	// Instances per class.
+	Instances int
+	// BenchInstances per (benchmark, query-count) class.
+	BenchInstances int
+	// BaseSeed offsets all generator seeds.
+	BaseSeed int64
+}
+
+// PaperCorpus returns the full-scale corpus specification matching the
+// paper's dimensions.
+func PaperCorpus() CorpusSpec {
+	return CorpusSpec{
+		QuerySet:       []int{250, 500, 750, 1000},
+		PPQSet:         []int{20, 30, 40},
+		StandardPPQ:    30,
+		CommunitySet:   []int{1, 2, 4, 6},
+		DensityHighs:   []float64{0.25, 0.5, 0.75, 1.0},
+		Instances:      3,
+		BenchInstances: 5,
+		BaseSeed:       1,
+	}
+}
+
+// ScaledCorpus shrinks the paper corpus by the given divisor on the query
+// axis (PPQ shrinks to a third), preserving class structure and counts.
+func ScaledCorpus(queryDivisor int) CorpusSpec {
+	if queryDivisor < 1 {
+		queryDivisor = 1
+	}
+	s := PaperCorpus()
+	for i, q := range s.QuerySet {
+		s.QuerySet[i] = q / queryDivisor
+		if s.QuerySet[i] < 8 {
+			s.QuerySet[i] = 8
+		}
+	}
+	for i, p := range s.PPQSet {
+		s.PPQSet[i] = p / 3
+	}
+	s.StandardPPQ /= 3
+	return s
+}
+
+// Entries enumerates the corpus:
+//
+//   - the scalability grid (queries × PPQ, 4 varying communities,
+//     densities [0.05, 1]) — Fig. 3;
+//   - the community grid (communities × {equal, varying} sizes at the
+//     standard PPQ) — Fig. 4;
+//   - the density grid (intervals [0.05, high] at the standard PPQ) —
+//     Fig. 5;
+//   - the benchmark scenarios (TPC-H, LDBC, JOB × query counts) — Fig. 6.
+//
+// With the paper's dimensions this yields 4·3 + 4·4·2 + 4·4 = 60 sweep
+// classes × 3 instances = 180 sweep problems before de-duplication of the
+// overlapping Fig. 3/Fig. 5 classes, and 3·4·5 = 60 benchmark problems.
+func (s CorpusSpec) Entries() []CorpusEntry {
+	var entries []CorpusEntry
+	add := func(class string, inst int, cfg SweepConfig) {
+		cfg.Seed = s.BaseSeed + classSeed64(class, inst)
+		c := cfg
+		entries = append(entries, CorpusEntry{
+			ID:    fmt.Sprintf("%s-i%d", class, inst),
+			Class: class,
+			Sweep: &c,
+		})
+	}
+	// Scalability grid (Fig. 3).
+	for _, ppq := range s.PPQSet {
+		for _, q := range s.QuerySet {
+			class := fmt.Sprintf("scale-q%d-ppq%d", q, ppq)
+			for i := 0; i < s.Instances; i++ {
+				add(class, i, SweepConfig{
+					Queries: q, PPQ: ppq, Communities: 4,
+					DensityLow: 0.05, DensityHigh: 1.0,
+				})
+			}
+		}
+	}
+	// Community grid (Fig. 4).
+	for _, equal := range []bool{false, true} {
+		label := "varying"
+		if equal {
+			label = "equal"
+		}
+		for _, comm := range s.CommunitySet {
+			for _, q := range s.QuerySet {
+				class := fmt.Sprintf("comm-%s-c%d-q%d", label, comm, q)
+				for i := 0; i < s.Instances; i++ {
+					add(class, i, SweepConfig{
+						Queries: q, PPQ: s.StandardPPQ, Communities: comm,
+						EqualCommunities: equal,
+						DensityLow:       0.05, DensityHigh: 1.0,
+					})
+				}
+			}
+		}
+	}
+	// Density grid (Fig. 5).
+	for _, high := range s.DensityHighs {
+		for _, q := range s.QuerySet {
+			class := fmt.Sprintf("dens-%.2f-q%d", high, q)
+			for i := 0; i < s.Instances; i++ {
+				add(class, i, SweepConfig{
+					Queries: q, PPQ: s.StandardPPQ, Communities: 4,
+					DensityLow: 0.05, DensityHigh: high,
+				})
+			}
+		}
+	}
+	// Benchmark scenarios (Fig. 6).
+	for _, bm := range []string{"tpch", "ldbc", "job"} {
+		cat := Catalogues()[bm]
+		for _, q := range s.QuerySet {
+			class := fmt.Sprintf("bench-%s-q%d", bm, q)
+			for i := 0; i < s.BenchInstances; i++ {
+				cfg := BenchConfig{
+					Catalogue: cat, Queries: q, PPQ: s.StandardPPQ,
+					Seed: s.BaseSeed + classSeed64(class, i),
+				}
+				entries = append(entries, CorpusEntry{
+					ID:    fmt.Sprintf("%s-i%d", class, i),
+					Class: class,
+					Bench: &cfg,
+				})
+			}
+		}
+	}
+	return entries
+}
+
+// classSeed64 hashes a class label and instance index into a seed.
+func classSeed64(class string, inst int) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range class {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	h ^= int64(inst) * 97
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperCorpusCounts(t *testing.T) {
+	entries := PaperCorpus().Entries()
+	var sweep, bench int
+	classes := map[string]int{}
+	ids := map[string]bool{}
+	for _, e := range entries {
+		if ids[e.ID] {
+			t.Fatalf("duplicate corpus ID %q", e.ID)
+		}
+		ids[e.ID] = true
+		classes[e.Class]++
+		switch {
+		case e.Sweep != nil:
+			sweep++
+		case e.Bench != nil:
+			bench++
+		default:
+			t.Fatalf("entry %q has no generator", e.ID)
+		}
+	}
+	// 12 scalability + 32 community + 16 density classes × 3 instances.
+	if sweep != 60*3 {
+		t.Errorf("sweep problems = %d, want 180", sweep)
+	}
+	// 3 benchmarks × 4 query counts × 5 instances (the paper's 60).
+	if bench != 60 {
+		t.Errorf("benchmark problems = %d, want 60", bench)
+	}
+	for class, n := range classes {
+		want := 3
+		if strings.HasPrefix(class, "bench-") {
+			want = 5
+		}
+		if n != want {
+			t.Errorf("class %q has %d instances, want %d", class, n, want)
+		}
+	}
+}
+
+func TestCorpusEntriesGenerate(t *testing.T) {
+	// Generating a scaled-down corpus entry of each kind must succeed and
+	// match the declared dimensions.
+	spec := ScaledCorpus(16)
+	entries := spec.Entries()
+	var didSweep, didBench bool
+	for _, e := range entries {
+		if didSweep && didBench {
+			break
+		}
+		if e.Sweep != nil && !didSweep {
+			in, _, err := e.Generate()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if in.Problem.NumQueries() != e.Sweep.Queries {
+				t.Errorf("%s: %d queries, want %d", e.ID, in.Problem.NumQueries(), e.Sweep.Queries)
+			}
+			didSweep = true
+		}
+		if e.Bench != nil && !didBench {
+			_, in, err := e.Generate()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if in.Problem.NumQueries() != e.Bench.Queries {
+				t.Errorf("%s: %d queries, want %d", e.ID, in.Problem.NumQueries(), e.Bench.Queries)
+			}
+			didBench = true
+		}
+	}
+	if !didSweep || !didBench {
+		t.Fatal("corpus missing sweep or benchmark entries")
+	}
+}
+
+func TestCorpusSeedsAreStable(t *testing.T) {
+	a := PaperCorpus().Entries()
+	b := PaperCorpus().Entries()
+	if len(a) != len(b) {
+		t.Fatal("corpus size unstable")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("corpus order unstable at %d: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+		switch {
+		case a[i].Sweep != nil:
+			if a[i].Sweep.Seed != b[i].Sweep.Seed {
+				t.Fatalf("%s: sweep seed unstable", a[i].ID)
+			}
+		case a[i].Bench != nil:
+			if a[i].Bench.Seed != b[i].Bench.Seed {
+				t.Fatalf("%s: bench seed unstable", a[i].ID)
+			}
+		}
+	}
+}
+
+func TestScaledCorpusShrinks(t *testing.T) {
+	s := ScaledCorpus(8)
+	for i, q := range s.QuerySet {
+		if q >= PaperCorpus().QuerySet[i] {
+			t.Errorf("scaled query count %d not smaller than paper's %d", q, PaperCorpus().QuerySet[i])
+		}
+		if q < 8 {
+			t.Errorf("scaled query count %d below floor", q)
+		}
+	}
+	if s.StandardPPQ != 10 {
+		t.Errorf("scaled standard PPQ = %d, want 10", s.StandardPPQ)
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestOffsetGrowsWithExpectedSavings(t *testing.T) {
+	// Denser instances must carry larger cost offsets (Sec. 5.2.1: offsets
+	// compensate for growing savings so optimal costs stay roughly level).
+	sparse, err := GenerateSweep(SweepConfig{
+		Queries: 30, PPQ: 4, Communities: 1,
+		DensityLow: 0.1, DensityHigh: 0.1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := GenerateSweep(SweepConfig{
+		Queries: 30, PPQ: 4, Communities: 1,
+		DensityLow: 0.9, DensityHigh: 0.9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := dense.Problem.TotalPlanCost(); ds <= sparse.Problem.TotalPlanCost()*2 {
+		t.Errorf("dense plan costs %v not offset above sparse %v", ds, sparse.Problem.TotalPlanCost())
+	}
+}
+
+func TestOffsetFactorScales(t *testing.T) {
+	base, err := GenerateSweep(SweepConfig{
+		Queries: 20, PPQ: 3, Communities: 1,
+		DensityLow: 0.5, DensityHigh: 0.5, OffsetFactor: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := GenerateSweep(SweepConfig{
+		Queries: 20, PPQ: 3, Communities: 1,
+		DensityLow: 0.5, DensityHigh: 0.5, OffsetFactor: 2, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.Problem.TotalPlanCost() <= base.Problem.TotalPlanCost() {
+		t.Errorf("offset factor 2 did not raise costs: %v vs %v",
+			doubled.Problem.TotalPlanCost(), base.Problem.TotalPlanCost())
+	}
+}
+
+func TestGreedyStaysRoughlyLevelAcrossSizes(t *testing.T) {
+	// The per-query normalisation goal: mean per-query solution cost for a
+	// simple algorithm should stay within a small factor as |Q| grows.
+	perQuery := func(queries int) float64 {
+		in, err := GenerateSweep(SweepConfig{
+			Queries: queries, PPQ: 4, Communities: 4,
+			DensityLow: 0.05, DensityHigh: 0.6, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := greedyCost(in)
+		return g / float64(queries)
+	}
+	small, large := perQuery(30), perQuery(120)
+	if ratio := large / small; ratio > 4 || ratio < 0.25 {
+		t.Errorf("per-query greedy cost drifts too much: %v vs %v", small, large)
+	}
+}
+
+func greedyCost(in *Instance) float64 {
+	p := in.Problem
+	var total float64
+	selected := make([]int, 0, p.NumQueries())
+	for q := 0; q < p.NumQueries(); q++ {
+		best, bestCost := -1, 0.0
+		for _, pl := range p.Plans(q) {
+			if best < 0 || p.Cost(pl) < bestCost {
+				best, bestCost = pl, p.Cost(pl)
+			}
+		}
+		selected = append(selected, best)
+		total += bestCost
+	}
+	for _, s := range p.Savings() {
+		sel1, sel2 := false, false
+		for _, pl := range selected {
+			if pl == s.P1 {
+				sel1 = true
+			}
+			if pl == s.P2 {
+				sel2 = true
+			}
+		}
+		if sel1 && sel2 {
+			total -= s.Value
+		}
+	}
+	return total
+}

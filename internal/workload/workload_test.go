@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateSweepBasicShape(t *testing.T) {
+	inst, err := GenerateSweep(SweepConfig{
+		Queries: 30, PPQ: 4, Communities: 3,
+		DensityLow: 0.2, DensityHigh: 0.8,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inst.Problem
+	if p.NumQueries() != 30 || p.NumPlans() != 120 {
+		t.Fatalf("shape = %d queries, %d plans", p.NumQueries(), p.NumPlans())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.CommunityOf) != 30 || len(inst.CommunitySizes) != 3 {
+		t.Fatalf("community metadata missing")
+	}
+	totalSize := 0
+	for _, s := range inst.CommunitySizes {
+		if s == 0 {
+			t.Error("empty community")
+		}
+		totalSize += s
+	}
+	if totalSize != 30 {
+		t.Errorf("community sizes sum to %d, want 30", totalSize)
+	}
+	for c, d := range inst.CommunityDensity {
+		if d < 0.2 || d > 0.8 {
+			t.Errorf("community %d density %v outside [0.2, 0.8]", c, d)
+		}
+	}
+}
+
+func TestGenerateSweepRejectsBadConfig(t *testing.T) {
+	if _, err := GenerateSweep(SweepConfig{Queries: 0, PPQ: 2}); err == nil {
+		t.Error("accepted zero queries")
+	}
+	if _, err := GenerateSweep(SweepConfig{Queries: 2, PPQ: 2, Communities: 5}); err == nil {
+		t.Error("accepted more communities than queries")
+	}
+	if _, err := GenerateSweep(SweepConfig{Queries: 2, PPQ: 2, DensityLow: 0.9, DensityHigh: 0.1}); err == nil {
+		t.Error("accepted inverted density interval")
+	}
+}
+
+func TestGenerateSweepDeterministic(t *testing.T) {
+	cfg := SweepConfig{Queries: 20, PPQ: 3, Communities: 2, DensityLow: 0.1, DensityHigh: 0.5, Seed: 42}
+	a, err := GenerateSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Problem.NumSavings() != b.Problem.NumSavings() {
+		t.Errorf("same seed produced %d vs %d savings", a.Problem.NumSavings(), b.Problem.NumSavings())
+	}
+}
+
+func TestGenerateSweepEqualCommunities(t *testing.T) {
+	inst, err := GenerateSweep(SweepConfig{
+		Queries: 40, PPQ: 3, Communities: 4, EqualCommunities: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, s := range inst.CommunitySizes {
+		if s != 10 {
+			t.Errorf("equal community %d has size %d, want 10", c, s)
+		}
+	}
+}
+
+func TestSweepDensityMatchesStatistics(t *testing.T) {
+	// Within-community measured density should approximate the sampled
+	// density; cross-community should approximate 0.05.
+	inst, err := GenerateSweep(SweepConfig{
+		Queries: 40, PPQ: 4, Communities: 2, EqualCommunities: true,
+		DensityLow: 0.6, DensityHigh: 0.6, CrossDensity: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inst.Problem
+	var inPairs, inSav, crossPairs, crossSav float64
+	perPair := float64(4 * 4)
+	for q1 := 0; q1 < p.NumQueries(); q1++ {
+		for q2 := q1 + 1; q2 < p.NumQueries(); q2++ {
+			if inst.CommunityOf[q1] == inst.CommunityOf[q2] {
+				inPairs += perPair
+			} else {
+				crossPairs += perPair
+			}
+		}
+	}
+	for _, s := range p.Savings() {
+		q1, q2 := p.QueryOf(s.P1), p.QueryOf(s.P2)
+		if inst.CommunityOf[q1] == inst.CommunityOf[q2] {
+			inSav++
+		} else {
+			crossSav++
+		}
+	}
+	if got := inSav / inPairs; math.Abs(got-0.6) > 0.05 {
+		t.Errorf("within-community density = %v, want ≈0.6", got)
+	}
+	if got := crossSav / crossPairs; math.Abs(got-0.05) > 0.02 {
+		t.Errorf("cross-community density = %v, want ≈0.05", got)
+	}
+}
+
+func TestSweepSavingAndCostRangesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		inst, err := GenerateSweep(SweepConfig{
+			Queries: 15, PPQ: 3, Communities: 2,
+			DensityLow: 0.1, DensityHigh: 0.4, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		p := inst.Problem
+		for _, s := range p.Savings() {
+			if s.Value < 1 || s.Value > 10 {
+				return false
+			}
+		}
+		// Costs are base [1,20] plus a non-negative offset.
+		for pl := 0; pl < p.NumPlans(); pl++ {
+			if p.Cost(pl) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialStatistics(t *testing.T) {
+	rng := newRand(1)
+	n, p := 1000, 0.3
+	var sum float64
+	trials := 200
+	for i := 0; i < trials; i++ {
+		sum += float64(binomial(rng, n, p))
+	}
+	mean := sum / float64(trials)
+	if math.Abs(mean-300) > 15 {
+		t.Errorf("binomial mean = %v, want ≈300", mean)
+	}
+	if got := binomial(rng, 10, 0); got != 0 {
+		t.Errorf("binomial(n, 0) = %d", got)
+	}
+	if got := binomial(rng, 10, 1); got != 10 {
+		t.Errorf("binomial(n, 1) = %d", got)
+	}
+}
+
+func TestSamplePairsDistinct(t *testing.T) {
+	rng := newRand(2)
+	for _, k := range []int{1, 5, 50, 99, 120} {
+		got := samplePairs(rng, 100, k)
+		wantLen := k
+		if k > 100 {
+			wantLen = 100
+		}
+		if len(got) != wantLen {
+			t.Fatalf("samplePairs(100, %d) returned %d values", k, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= 100 || seen[v] {
+				t.Fatalf("bad sample %v", got)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestGenerateBenchStructure(t *testing.T) {
+	for name, cat := range Catalogues() {
+		inst, err := GenerateBench(BenchConfig{Catalogue: cat, Queries: 40, PPQ: 3, Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p := inst.Problem
+		if p.NumQueries() != 40 {
+			t.Fatalf("%s: queries = %d", name, p.NumQueries())
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Every query needs at least two relations.
+		for q, rels := range inst.RelationsOf {
+			if len(rels) < 2 {
+				t.Errorf("%s: query %d has %d relations", name, q, len(rels))
+			}
+		}
+		// Group shares must roughly match the catalogue.
+		counts := make([]int, len(cat.Groups))
+		for _, g := range inst.GroupOf {
+			counts[g]++
+		}
+		for g, c := range counts {
+			if c == 0 {
+				t.Errorf("%s: group %d empty at 40 queries", name, g)
+			}
+		}
+	}
+}
+
+func TestConformanceMetric(t *testing.T) {
+	cat := TPCH()
+	// Identical relation sets → conformance 1.
+	if got := conformance(cat, []int{0, 1}, []int{0, 1}); got != 1 {
+		t.Errorf("conformance of identical sets = %v, want 1", got)
+	}
+	// Disjoint sets → 0.
+	if got := conformance(cat, []int{0}, []int{1}); got != 0 {
+		t.Errorf("conformance of disjoint sets = %v, want 0", got)
+	}
+	// Partial overlap: lineitem (6001215) shared, orders (1500000) only in
+	// one → 6001215 / 7501215.
+	want := 6001215.0 / 7501215.0
+	if got := conformance(cat, []int{0, 1}, []int{0}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("conformance = %v, want %v", got, want)
+	}
+}
+
+func TestBenchSavingsFollowConformanceCommunities(t *testing.T) {
+	// Queries of the same group must share savings far more often than
+	// queries of different groups (community structure, Sec. 5.3.2).
+	inst, err := GenerateBench(BenchConfig{Catalogue: JOB(), Queries: 60, PPQ: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inst.Problem
+	var inPairs, inSav, crossPairs, crossSav float64
+	perPair := 9.0
+	for q1 := 0; q1 < p.NumQueries(); q1++ {
+		for q2 := q1 + 1; q2 < p.NumQueries(); q2++ {
+			if inst.GroupOf[q1] == inst.GroupOf[q2] {
+				inPairs += perPair
+			} else {
+				crossPairs += perPair
+			}
+		}
+	}
+	for _, s := range p.Savings() {
+		q1, q2 := p.QueryOf(s.P1), p.QueryOf(s.P2)
+		if inst.GroupOf[q1] == inst.GroupOf[q2] {
+			inSav++
+		} else {
+			crossSav++
+		}
+	}
+	if inPairs == 0 || crossPairs == 0 {
+		t.Skip("degenerate grouping")
+	}
+	if inSav/inPairs <= 2*(crossSav/crossPairs) {
+		t.Errorf("no community structure: within %v vs cross %v", inSav/inPairs, crossSav/crossPairs)
+	}
+}
+
+func TestTPCHGroupSharesMatchPaper(t *testing.T) {
+	// The paper reports TPC-H communities of ≈55%, ≈28%, ≈17%.
+	cat := TPCH()
+	wants := []float64{0.55, 0.28, 0.17}
+	for i, g := range cat.Groups {
+		if math.Abs(g.Share-wants[i]) > 1e-9 {
+			t.Errorf("TPC-H group %d share = %v, want %v", i, g.Share, wants[i])
+		}
+	}
+	var total float64
+	for _, g := range cat.Groups {
+		total += g.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("TPC-H shares sum to %v", total)
+	}
+}
+
+func TestGenerateBenchRejectsBadConfig(t *testing.T) {
+	if _, err := GenerateBench(BenchConfig{Queries: 5, PPQ: 2}); err == nil {
+		t.Error("accepted nil catalogue")
+	}
+	if _, err := GenerateBench(BenchConfig{Catalogue: TPCH(), Queries: 0, PPQ: 2}); err == nil {
+		t.Error("accepted zero queries")
+	}
+}
+
+// newRand returns a seeded random source for statistics tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

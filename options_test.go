@@ -1,0 +1,69 @@
+package incranneal
+
+import (
+	"context"
+	"testing"
+
+	"incranneal/internal/solver"
+)
+
+func TestDeviceMapping(t *testing.T) {
+	cases := []struct {
+		dev  Device
+		name string
+		cap  int
+	}{
+		{DeviceDA, "da", 8192},
+		{DeviceHQA, "hqa", 0},
+		{DeviceSA, "sa", 0},
+		{DeviceVA, "va", 100000},
+	}
+	for _, tc := range cases {
+		s := Options{Device: tc.dev}.device()
+		if s.Name() != tc.name {
+			t.Errorf("device %d name = %q, want %q", tc.dev, s.Name(), tc.name)
+		}
+		if s.Capacity() != tc.cap {
+			t.Errorf("device %d capacity = %d, want %d", tc.dev, s.Capacity(), tc.cap)
+		}
+	}
+}
+
+type fakeDevice struct{}
+
+func (fakeDevice) Name() string  { return "fake" }
+func (fakeDevice) Capacity() int { return 0 }
+func (fakeDevice) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return &solver.Result{Samples: []solver.Sample{{Assignment: make([]int8, req.Model.NumVariables())}}}, nil
+}
+
+func TestCustomDeviceOverrides(t *testing.T) {
+	opt := Options{Device: DeviceHQA, CustomDevice: fakeDevice{}}
+	if got := opt.device().Name(); got != "fake" {
+		t.Errorf("CustomDevice ignored, got %q", got)
+	}
+}
+
+func TestCoreOptionsDefaultsRuns(t *testing.T) {
+	c := Options{}.coreOptions()
+	if c.Runs != 16 {
+		t.Errorf("default runs = %d, want the paper's 16", c.Runs)
+	}
+	c = Options{Runs: 4}.coreOptions()
+	if c.Runs != 4 {
+		t.Errorf("explicit runs = %d, want 4", c.Runs)
+	}
+}
+
+func TestSolveWithCustomDeviceRepairsEmptySamples(t *testing.T) {
+	// The fake device always returns the all-zero assignment; the repair
+	// path must still yield a valid complete solution.
+	p := PaperExample()
+	out, err := Solve(context.Background(), p, Options{CustomDevice: fakeDevice{}, Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Solution.Validate(p); err != nil || !out.Solution.Complete() {
+		t.Errorf("repair failed: %v, complete=%v", err, out.Solution.Complete())
+	}
+}
