@@ -29,6 +29,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
 		outDir  = flag.String("out", "", "write per-figure files to this directory instead of stdout")
 		timeout = flag.Duration("timeout", 0, "per-algorithm run budget for the runtime figure (0 = 3m)")
+		workers = flag.Int("parallelism", 0, "worker goroutines per solve (0 = all cores, results identical for any value)")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	if *timeout > 0 {
 		cfg.TimeBudget = *timeout
 	}
+	cfg.Parallelism = *workers
 	ctx := context.Background()
 
 	type job struct {

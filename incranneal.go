@@ -122,6 +122,12 @@ type Options struct {
 	TotalSweeps int
 	// Seed makes the pipeline deterministic.
 	Seed int64
+	// Parallelism bounds the worker goroutines used for independent
+	// annealing runs and concurrent partition solves. Zero uses every
+	// core (GOMAXPROCS), negative forces sequential execution. Results
+	// are identical for every setting: per-run RNG streams derive from
+	// Seed before any work is dispatched.
+	Parallelism int
 	// DisableDSS turns dynamic search steering off (ablation).
 	DisableDSS bool
 	// PostProcessParses configures Algorithm 1 (0 = the paper's 4 parses,
@@ -156,6 +162,7 @@ func (o Options) coreOptions() core.Options {
 		Runs:              runs,
 		TotalSweeps:       o.TotalSweeps,
 		Seed:              o.Seed,
+		Parallelism:       o.Parallelism,
 		DisableDSS:        o.DisableDSS,
 		PostProcessParses: o.PostProcessParses,
 	}

@@ -45,6 +45,11 @@ type Config struct {
 	// TimeBudget bounds each algorithm run's wall-clock time. Zero means
 	// unbounded.
 	TimeBudget time.Duration
+	// Parallelism bounds each solve's worker pool (annealing runs and
+	// partition-level concurrency). Zero means GOMAXPROCS; results are
+	// identical for every setting, so reports stay comparable across
+	// machines.
+	Parallelism int
 }
 
 // Paper returns the configuration matching the paper's experimental setup
@@ -163,7 +168,7 @@ func SADefault(cfg Config) Algorithm {
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
 			out, err := core.SolveDefault(ctx, p, core.Options{
 				Device: &sa.Solver{}, Runs: cfg.Runs,
-				TotalSweeps: saSweeps(cfg, p), Seed: seed,
+				TotalSweeps: saSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
 				return 0, err
@@ -183,7 +188,7 @@ func SAIncremental(cfg Config) Algorithm {
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
 			out, err := core.SolveIncremental(ctx, p, core.Options{
 				Device: &sa.Solver{}, Capacity: cfg.DACapacity, Runs: cfg.Runs,
-				TotalSweeps: saSweeps(cfg, p), Seed: seed,
+				TotalSweeps: saSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
 				return 0, err
@@ -202,7 +207,7 @@ func HQAIncremental(cfg Config) Algorithm {
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
 			out, err := core.SolveIncremental(ctx, p, core.Options{
 				Device: &hqa.Solver{}, Capacity: cfg.DACapacity, Runs: 1,
-				Seed: seed,
+				Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
 				return 0, err
@@ -221,7 +226,7 @@ func DADefault(cfg Config) Algorithm {
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
 			out, err := core.SolveDefault(ctx, p, core.Options{
 				Device: &da.Solver{CapacityVars: cfg.DACapacity}, Runs: cfg.Runs,
-				TotalSweeps: daSweeps(cfg, p), Seed: seed,
+				TotalSweeps: daSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
 				return 0, err
@@ -239,7 +244,7 @@ func DAParallel(cfg Config) Algorithm {
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
 			out, err := core.SolveParallel(ctx, p, core.Options{
 				Device: &da.Solver{CapacityVars: cfg.DACapacity}, Runs: cfg.Runs,
-				TotalSweeps: daSweeps(cfg, p), Seed: seed,
+				TotalSweeps: daSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
 				return 0, err
@@ -258,7 +263,7 @@ func DAIncremental(cfg Config) Algorithm {
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
 			out, err := core.SolveIncremental(ctx, p, core.Options{
 				Device: &da.Solver{CapacityVars: cfg.DACapacity}, Runs: cfg.Runs,
-				TotalSweeps: daSweeps(cfg, p), Seed: seed,
+				TotalSweeps: daSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
 				return 0, err

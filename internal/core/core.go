@@ -17,7 +17,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -55,8 +54,11 @@ type Options struct {
 	// partition.Options; see there.
 	PostProcessParses int
 	MinPartFraction   float64
-	// Parallelism bounds concurrent solves in the parallel strategy; zero
-	// means GOMAXPROCS.
+	// Parallelism bounds worker goroutines throughout the pipeline: it
+	// caps concurrent partial-problem solves in the parallel strategy and
+	// is forwarded to the device as Request.Parallelism, bounding its
+	// run-level worker pool. Zero means GOMAXPROCS, negative forces
+	// sequential execution. Any setting yields identical results.
 	Parallelism int
 	// DisableDSS turns dynamic search steering off in the incremental
 	// strategy (ablation): partial problems are still processed
@@ -117,6 +119,7 @@ func (o Options) partitionProblem(ctx context.Context, p *mqo.Problem) (*partiti
 		Seed:              o.Seed,
 		PostProcessParses: o.PostProcessParses,
 		MinPartFraction:   o.MinPartFraction,
+		Parallelism:       o.Parallelism,
 	})
 }
 
@@ -137,7 +140,7 @@ func (o Options) perPartitionSweeps(n int) int {
 
 // solveSub encodes and solves one partial problem on the device and
 // returns its samples decoded into valid local solutions.
-func solveSub(ctx context.Context, dev solver.Solver, sub *mqo.SubProblem, runs, sweeps int, seed int64) ([]*mqo.Solution, int, error) {
+func solveSub(ctx context.Context, dev solver.Solver, sub *mqo.SubProblem, runs, sweeps int, seed int64, parallelism int) ([]*mqo.Solution, int, error) {
 	enc, err := encoding.EncodeMQO(sub.Local)
 	if err != nil {
 		return nil, 0, err
@@ -145,7 +148,7 @@ func solveSub(ctx context.Context, dev solver.Solver, sub *mqo.SubProblem, runs,
 	if err := solver.CheckCapacity(dev, enc.Model); err != nil {
 		return nil, 0, err
 	}
-	res, err := dev.Solve(ctx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed})
+	res, err := dev.Solve(ctx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed, Parallelism: parallelism})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -194,10 +197,7 @@ func finalize(p *mqo.Problem, sol *mqo.Solution, strategy string, start time.Tim
 }
 
 func parallelism(o Options) int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
+	return solver.Workers(o.Parallelism)
 }
 
 // boundedGroup runs fns with at most limit concurrent goroutines and

@@ -21,7 +21,7 @@ func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, e
 	if err != nil {
 		return nil, err
 	}
-	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.TotalSweeps, Seed: opt.Seed}
+	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.TotalSweeps, Seed: opt.Seed, Parallelism: opt.Parallelism}
 	var res *solver.Result
 	capacity := opt.Device.Capacity()
 	switch {

@@ -53,7 +53,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 		pending[i] = append([]mqo.Saving(nil), sub.Discarded...)
 	}
 	for i, sub := range subs {
-		sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, perSub, opt.Seed+int64(1000+i))
+		sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, perSub, opt.Seed+int64(1000+i), opt.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +120,7 @@ func solveWhole(ctx context.Context, p *mqo.Problem, opt Options, strategy strin
 	if err != nil {
 		return nil, err
 	}
-	sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, opt.perPartitionSweeps(1), opt.Seed)
+	sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, opt.perPartitionSweeps(1), opt.Seed, opt.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -27,12 +27,21 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 	perSub := opt.perPartitionSweeps(len(subs))
 	globals := make([]*mqo.Solution, len(subs))
 	sweepCounts := make([]int, len(subs))
+	// The worker budget splits across the two levels: partitions run
+	// concurrently out here, and each device solve gets the leftover share
+	// for its run pool, so the total stays near the configured bound
+	// instead of multiplying.
+	workers := parallelism(opt)
+	perSolve := workers / len(subs)
+	if perSolve < 1 {
+		perSolve = -1 // sequential runs inside each partition solve
+	}
 	var mu sync.Mutex
 	fns := make([]func() error, len(subs))
 	for i, sub := range subs {
 		i, sub := i, sub
 		fns[i] = func() error {
-			sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, perSub, opt.Seed+int64(1000+i))
+			sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, perSub, opt.Seed+int64(1000+i), perSolve)
 			if err != nil {
 				return err
 			}
@@ -48,7 +57,7 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 			return nil
 		}
 	}
-	if err := boundedGroup(parallelism(opt), fns); err != nil {
+	if err := boundedGroup(workers, fns); err != nil {
 		return nil, err
 	}
 	ttlSol := mqo.NewSolution(p)

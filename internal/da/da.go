@@ -111,7 +111,46 @@ func (s *Solver) steps(req solver.Request) int {
 	return st
 }
 
-// Solve implements solver.Solver for problems within device capacity.
+// runParams carries the model-derived invariants of a Solve shared by all
+// of its runs: the schedule endpoints, the precomputed per-step temperature
+// table and the dynamic-offset unit. They depend only on the model and the
+// step budget, so they are computed once per Solve instead of once per run.
+type runParams struct {
+	temps   []float64 // temps[step] of the exponential schedule
+	offUnit float64
+}
+
+// newRunParams hoists the per-run invariants of a Solve.
+func (s *Solver) newRunParams(m *qubo.Model, steps int) runParams {
+	tHot, tCold := temperatureRange(m)
+	offRate := s.OffsetIncreaseRate
+	if offRate <= 0 {
+		offRate = 1
+	}
+	offUnit := meanAbsCoefficient(m) * offRate
+	if offUnit == 0 {
+		offUnit = 1
+	}
+	temps := make([]float64, steps)
+	denom := float64(max(steps-1, 1))
+	for step := range temps {
+		temps[step] = tHot * math.Pow(tCold/tHot, float64(step)/denom)
+	}
+	return runParams{temps: temps, offUnit: offUnit}
+}
+
+// expVariate returns −ln(u) for u drawn uniformly from (0,1]. rand.Float64
+// covers the half-open [0,1): drawing it directly would occasionally yield
+// exactly 0 and make the acceptance threshold +Inf, silently accepting
+// every variable for that step, so the draw is mirrored onto (0,1].
+func expVariate(rng *rand.Rand) float64 {
+	return -math.Log(1 - rng.Float64())
+}
+
+// Solve implements solver.Solver for problems within device capacity. The
+// request's independent runs execute on a bounded worker pool (see
+// Request.Parallelism); per-run RNGs derive from the request seed before
+// dispatch, so results are identical for every worker count.
 func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
 	m := req.Model
 	if m == nil || m.NumVariables() == 0 {
@@ -126,14 +165,27 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 		deadline = start.Add(req.TimeBudget)
 	}
 	runs, steps := s.runs(req), s.steps(req)
+	prm := s.newRunParams(m, steps)
+	seeds := solver.RunSeeds(req.Seed, runs)
+	samples := make([]solver.Sample, runs)
+	performed := make([]int, runs)
+	done := make([]bool, runs)
+	solver.ForEachRun(runs, solver.Workers(req.Parallelism), func(run int) {
+		// The first run always executes (a Result must hold at least one
+		// sample; anneal returns quickly under cancellation); later runs
+		// are skipped once the budget is exhausted, mirroring the
+		// sequential early exit.
+		if run > 0 && (solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline))) {
+			return
+		}
+		sample, p := s.anneal(ctx, m, prm, rand.New(rand.NewSource(seeds[run])), deadline)
+		samples[run], performed[run], done[run] = sample, p, true
+	})
 	res := &solver.Result{}
-	rng := rand.New(rand.NewSource(req.Seed))
-	for run := 0; run < runs; run++ {
-		sample, performed := s.anneal(ctx, m, steps, rand.New(rand.NewSource(rng.Int63())), deadline)
-		res.Samples = append(res.Samples, sample)
-		res.Sweeps += performed
-		if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
-			break
+	for run := range samples {
+		if done[run] {
+			res.Samples = append(res.Samples, samples[run])
+			res.Sweeps += performed[run]
 		}
 	}
 	res.SortSamples()
@@ -141,31 +193,23 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 	return res, nil
 }
 
-// anneal performs one Digital Annealer run of the given number of
-// Monte-Carlo steps and returns the best sample seen.
-func (s *Solver) anneal(ctx context.Context, m *qubo.Model, steps int, rng *rand.Rand, deadline time.Time) (solver.Sample, int) {
+// anneal performs one Digital Annealer run over the precomputed schedule
+// and returns the best sample seen.
+func (s *Solver) anneal(ctx context.Context, m *qubo.Model, prm runParams, rng *rand.Rand, deadline time.Time) (solver.Sample, int) {
 	n := m.NumVariables()
 	st := qubo.NewRandomState(m, rng)
-	best := st.Copy()
-	tHot, tCold := temperatureRange(m)
-	offRate := s.OffsetIncreaseRate
-	if offRate <= 0 {
-		offRate = 1
-	}
-	offUnit := meanAbsCoefficient(m) * offRate
-	if offUnit == 0 {
-		offUnit = 1
-	}
+	var best qubo.BestTracker
+	best.Observe(st)
 	offset := 0.0
 	performed := 0
 	checkEvery := 256
-	for step := 0; step < steps; step++ {
+	for step := 0; step < len(prm.temps); step++ {
 		if step%checkEvery == 0 {
 			if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
 				break
 			}
 		}
-		temp := tHot * math.Pow(tCold/tHot, float64(step)/float64(max(steps-1, 1)))
+		temp := prm.temps[step]
 		if s.SingleFlip {
 			// Ablation: conventional SA step — one uniformly chosen
 			// variable per step, Metropolis acceptance.
@@ -175,45 +219,28 @@ func (s *Solver) anneal(ctx context.Context, m *qubo.Model, steps int, rng *rand
 				st.Flip(v)
 			}
 			performed++
-			if st.Energy() < best.Energy() {
-				best = st.Copy()
-			}
+			best.Observe(st)
 			continue
 		}
 		// Parallel trial: acceptance test rand < exp(−(ΔE−offset)/T) is
 		// equivalent to ΔE < offset − T·ln(rand). Drawing one shared rand
 		// per step yields the same per-variable marginal acceptance
-		// probability while letting the scan run as two cheap passes:
-		// count candidates below the threshold, then pick one uniformly.
-		theta := offset - temp*math.Log(rng.Float64())
-		accepted := 0
-		for v := 0; v < n; v++ {
-			if st.DeltaEnergy(v) < theta {
-				accepted++
-			}
-		}
+		// probability while letting the scan run as two tight passes over
+		// the state's flat delta array: count candidates below the
+		// threshold, then pick one uniformly.
+		theta := offset + temp*expVariate(rng)
+		accepted := st.CountBelow(theta)
 		if accepted == 0 {
 			if !s.DisableDynamicOffset {
-				offset += offUnit
+				offset += prm.offUnit
 			}
 			performed++
 			continue
 		}
-		k := rng.Intn(accepted)
-		for v := 0; v < n; v++ {
-			if st.DeltaEnergy(v) < theta {
-				if k == 0 {
-					st.Flip(v)
-					break
-				}
-				k--
-			}
-		}
+		st.Flip(st.PickKthBelow(theta, rng.Intn(accepted)))
 		offset = 0
 		performed++
-		if st.Energy() < best.Energy() {
-			best = st.Copy()
-		}
+		best.Observe(st)
 	}
 	return solver.Sample{Assignment: best.Assignment(), Energy: best.Energy()}, performed
 }

@@ -65,28 +65,42 @@ func (s *Solver) SolvePT(ctx context.Context, req solver.Request) (*solver.Resul
 		states[i] = qubo.NewRandomState(m, rng)
 		rngs[i] = rand.New(rand.NewSource(rng.Int63()))
 	}
-	best := states[0].Copy()
+	// Per-slot best trackers: replicas interact only at exchange barriers,
+	// so between exchanges every ladder slot advances independently on the
+	// worker pool with its own pre-derived RNG stream — results match the
+	// sequential schedule for every worker count. The global best is the
+	// minimum over all slot observations, taken at the end.
+	trackers := make([]qubo.BestTracker, replicas)
+	for i, st := range states {
+		trackers[i].Observe(st)
+	}
 	offsets := make([]float64, replicas)
 	offUnit := meanAbsCoefficient(m)
 	if offUnit == 0 {
 		offUnit = 1
 	}
 	exchangeEvery := 20
+	workers := solver.Workers(req.Parallelism)
 	performed := 0
-	for step := 0; step < steps; step++ {
-		if step%64 == 0 {
-			if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
-				break
-			}
+	for done := 0; done < steps; done += exchangeEvery {
+		if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
+			break
 		}
-		for i, st := range states {
-			s.parallelTrialStep(st, temps[i], &offsets[i], offUnit, rngs[i])
-			if st.Energy() < best.Energy() {
-				best = st.Copy()
-			}
+		segment := exchangeEvery
+		if rest := steps - done; segment > rest {
+			segment = rest
 		}
-		performed++
-		if step%exchangeEvery == exchangeEvery-1 {
+		solver.ForEachRun(replicas, workers, func(i int) {
+			st := states[i]
+			for k := 0; k < segment; k++ {
+				s.parallelTrialStep(st, temps[i], &offsets[i], offUnit, rngs[i])
+				trackers[i].Observe(st)
+			}
+		})
+		performed += segment
+		// A full interval ends with an exchange pass; the trailing partial
+		// segment (if any) does not, matching the per-step schedule.
+		if segment == exchangeEvery {
 			for i := 0; i+1 < replicas; i++ {
 				delta := (1/temps[i] - 1/temps[i+1]) * (states[i].Energy() - states[i+1].Energy())
 				if delta >= 0 || rng.Float64() < math.Exp(delta) {
@@ -96,8 +110,14 @@ func (s *Solver) SolvePT(ctx context.Context, req solver.Request) (*solver.Resul
 			}
 		}
 	}
+	bestIdx := 0
+	for i := 1; i < replicas; i++ {
+		if trackers[i].Energy() < trackers[bestIdx].Energy() {
+			bestIdx = i
+		}
+	}
 	res := &solver.Result{Sweeps: performed * replicas, Elapsed: time.Since(start)}
-	res.Samples = append(res.Samples, solver.Sample{Assignment: best.Assignment(), Energy: best.Energy()})
+	res.Samples = append(res.Samples, solver.Sample{Assignment: trackers[bestIdx].Assignment(), Energy: trackers[bestIdx].Energy()})
 	for _, st := range states {
 		res.Samples = append(res.Samples, solver.Sample{Assignment: st.Assignment(), Energy: st.Energy()})
 	}
@@ -112,30 +132,15 @@ func (s *Solver) SolvePT(ctx context.Context, req solver.Request) (*solver.Resul
 // the given temperature: the shared-random threshold scan of Solve.anneal,
 // factored out so annealing and tempering share the exact hardware step.
 func (s *Solver) parallelTrialStep(st *qubo.State, temp float64, offset *float64, offUnit float64, rng *rand.Rand) {
-	n := st.Model().NumVariables()
-	theta := *offset - temp*math.Log(rng.Float64())
-	accepted := 0
-	for v := 0; v < n; v++ {
-		if st.DeltaEnergy(v) < theta {
-			accepted++
-		}
-	}
+	theta := *offset + temp*expVariate(rng)
+	accepted := st.CountBelow(theta)
 	if accepted == 0 {
 		if !s.DisableDynamicOffset {
 			*offset += offUnit
 		}
 		return
 	}
-	k := rng.Intn(accepted)
-	for v := 0; v < n; v++ {
-		if st.DeltaEnergy(v) < theta {
-			if k == 0 {
-				st.Flip(v)
-				break
-			}
-			k--
-		}
-	}
+	st.Flip(st.PickKthBelow(theta, rng.Intn(accepted)))
 	*offset = 0
 }
 

@@ -122,7 +122,11 @@ func MinTimeLimit(numVariables int) time.Duration {
 	return base
 }
 
-// Solve implements solver.Solver.
+// Solve implements solver.Solver. Request.Runs > 1 executes that many
+// independent hybrid restarts on a bounded worker pool (one sample each);
+// zero keeps the service's single-workflow behaviour. Per-run RNGs derive
+// from the request seed before dispatch, so Samples are identical for
+// every Parallelism setting.
 func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
 	m := req.Model
 	if m == nil || m.NumVariables() == 0 {
@@ -133,11 +137,42 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 	if req.TimeBudget > 0 {
 		deadline = start.Add(req.TimeBudget)
 	}
-	rng := rand.New(rand.NewSource(req.Seed))
+	runs := req.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	iters := s.iterations(req)
+	seeds := solver.RunSeeds(req.Seed, runs)
+	samples := make([]solver.Sample, runs)
+	sweepCounts := make([]int, runs)
+	done := make([]bool, runs)
+	solver.ForEachRun(runs, solver.Workers(req.Parallelism), func(run int) {
+		if run > 0 && (solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline))) {
+			return
+		}
+		sample, sw := s.hybridRun(ctx, m, iters, rand.New(rand.NewSource(seeds[run])), deadline)
+		samples[run], sweepCounts[run], done[run] = sample, sw, true
+	})
+	res := &solver.Result{}
+	for run := range samples {
+		if done[run] {
+			res.Samples = append(res.Samples, samples[run])
+			res.Sweeps += sweepCounts[run]
+		}
+	}
+	res.SortSamples()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// hybridRun executes one classical-orchestration workflow: descend to a
+// local minimum, then repeatedly carve out a high-impact subproblem, solve
+// it on the simulated QPU and re-integrate improvements.
+func (s *Solver) hybridRun(ctx context.Context, m *qubo.Model, iters int, rng *rand.Rand, deadline time.Time) (solver.Sample, int) {
 	st := qubo.NewRandomState(m, rng)
 	descend(st)
-	best := st.Copy()
-	iters := s.iterations(req)
+	var best qubo.BestTracker
+	best.Observe(st)
 	sweeps := 0
 	for it := 0; it < iters; it++ {
 		if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
@@ -164,16 +199,9 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 				}
 			}
 		}
-		if st.Energy() < best.Energy() {
-			best = st.Copy()
-		}
+		best.Observe(st)
 	}
-	res := &solver.Result{
-		Samples: []solver.Sample{{Assignment: best.Assignment(), Energy: best.Energy()}},
-		Sweeps:  sweeps,
-		Elapsed: time.Since(start),
-	}
-	return res, nil
+	return solver.Sample{Assignment: best.Assignment(), Energy: best.Energy()}, sweeps
 }
 
 // descend applies classical steepest descent to a local minimum: the
@@ -244,7 +272,8 @@ func (s *Solver) selectSubproblem(m *qubo.Model, st *qubo.State, rng *rand.Rand)
 func (s *Solver) qpuSolve(sub *qubo.Model, rng *rand.Rand) ([]int8, int) {
 	noisy := s.perturb(sub, rng)
 	st := qubo.NewRandomState(noisy, rng)
-	best := st.Copy()
+	var best qubo.BestTracker
+	best.Observe(st)
 	steps := s.qpuSteps()
 	hot, cold := noisy.MaxAbsCoefficient(), noisy.MaxAbsCoefficient()/200
 	if hot == 0 {
@@ -259,9 +288,7 @@ func (s *Solver) qpuSolve(sub *qubo.Model, rng *rand.Rand) ([]int8, int) {
 				st.Flip(v)
 			}
 		}
-		if st.Energy() < best.Energy() {
-			best = st.Copy()
-		}
+		best.Observe(st)
 	}
 	return best.Assignment(), steps
 }

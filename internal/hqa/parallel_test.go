@@ -1,0 +1,65 @@
+package hqa
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/solver"
+)
+
+// TestSolveDeterministicAcrossParallelism checks the hybrid restarts'
+// worker pool: per-run RNGs derive from the seed before dispatch, so
+// multi-run solves are bit-identical for every Parallelism setting.
+func TestSolveDeterministicAcrossParallelism(t *testing.T) {
+	p := mqo.PaperExample()
+	enc, err := encoding.EncodeMQO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Solver{DefaultIterations: 6, QPUSteps: 60}
+	req := solver.Request{Model: enc.Model, Runs: 4, Seed: 42}
+	var ref *solver.Result
+	for _, par := range []int{-1, 1, 4, runtime.GOMAXPROCS(0)} {
+		r := req
+		r.Parallelism = par
+		res, err := s.Solve(context.Background(), r)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(res.Samples) != 4 {
+			t.Fatalf("parallelism %d: %d samples, want one per run", par, len(res.Samples))
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for i := range res.Samples {
+			if res.Samples[i].Energy != ref.Samples[i].Energy ||
+				!reflect.DeepEqual(res.Samples[i].Assignment, ref.Samples[i].Assignment) {
+				t.Fatalf("parallelism %d: sample %d differs", par, i)
+			}
+		}
+	}
+}
+
+// TestSolveDefaultsToSingleRun keeps the service's historical shape: a
+// request without Runs yields exactly one workflow and one sample.
+func TestSolveDefaultsToSingleRun(t *testing.T) {
+	p := mqo.PaperExample()
+	enc, err := encoding.EncodeMQO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Solver{DefaultIterations: 4, QPUSteps: 40}
+	res, err := s.Solve(context.Background(), solver.Request{Model: enc.Model, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 1 {
+		t.Fatalf("default run count produced %d samples, want 1", len(res.Samples))
+	}
+}

@@ -34,6 +34,9 @@ type Options struct {
 	// MinPartFraction bounds the post-processing shrinkage: part1 never
 	// drops below this fraction of the subset's queries. Zero means 0.25.
 	MinPartFraction float64
+	// Parallelism forwards to the bisection solves' Request.Parallelism,
+	// bounding each device's run-level worker pool; zero means GOMAXPROCS.
+	Parallelism int
 }
 
 func (o *Options) parses() int {
@@ -149,7 +152,7 @@ func bisect(ctx context.Context, g *Graph, queries []int, opt Options, seed int6
 		// per query node. Degrade to classical SA when it cannot.
 		dev = &sa.Solver{}
 	}
-	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.Sweeps, Seed: seed}
+	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.Sweeps, Seed: seed, Parallelism: opt.Parallelism}
 	result, err := dev.Solve(ctx, req)
 	if err != nil {
 		return nil, nil, fmt.Errorf("partition: bisection solve: %w", err)

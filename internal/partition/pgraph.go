@@ -89,18 +89,25 @@ func (g *Graph) PlanWeight(set []int) float64 {
 }
 
 // CutWeight returns the accumulated edge weight between the two query sets:
-// the savings magnitude a partitioning into these sets discards.
+// the savings magnitude a partitioning into these sets discards. It sums
+// over the sorted Edges slice, not the adjacency maps, so the float
+// accumulation order — and therefore the result down to the last ulp — is
+// identical on every call. PostProcessBest compares the cut weights of two
+// orientations that can be mirror images of each other; summing in map
+// iteration order made that comparison flip at random between processes.
 func (g *Graph) CutWeight(part1, part2 []int) float64 {
 	in1 := make(map[int]bool, len(part1))
 	for _, q := range part1 {
 		in1[q] = true
 	}
-	var cut float64
+	in2 := make(map[int]bool, len(part2))
 	for _, q := range part2 {
-		for other, w := range g.adjacency[q] {
-			if in1[other] {
-				cut += w
-			}
+		in2[q] = true
+	}
+	var cut float64
+	for _, e := range g.Edges {
+		if (in1[e.U] && in2[e.V]) || (in2[e.U] && in1[e.V]) {
+			cut += e.Weight
 		}
 	}
 	return cut

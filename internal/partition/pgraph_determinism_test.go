@@ -1,0 +1,37 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCutWeightBitIdentical pins the sorted-edge accumulation: the cut
+// weight of a partition must be bit-identical across repeated calls and
+// symmetric in its arguments. Summing adjacency maps in iteration order
+// made mirror-image orientations differ by an ulp at random, which flipped
+// PostProcessBest's orientation choice between otherwise identical runs.
+func TestCutWeightBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(rng, 20, 3, 0.4)
+		g := BuildGraph(p)
+		var part1, part2 []int
+		for q := 0; q < g.NumNodes(); q++ {
+			if rng.Intn(2) == 0 {
+				part1 = append(part1, q)
+			} else {
+				part2 = append(part2, q)
+			}
+		}
+		ref := g.CutWeight(part1, part2)
+		for call := 0; call < 20; call++ {
+			if got := g.CutWeight(part1, part2); math.Float64bits(got) != math.Float64bits(ref) {
+				t.Fatalf("trial %d: CutWeight varied across calls: %v vs %v", trial, got, ref)
+			}
+			if got := g.CutWeight(part2, part1); math.Float64bits(got) != math.Float64bits(ref) {
+				t.Fatalf("trial %d: CutWeight not symmetric: %v vs %v", trial, got, ref)
+			}
+		}
+	}
+}

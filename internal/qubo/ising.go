@@ -1,5 +1,7 @@
 package qubo
 
+import "sort"
+
 // Ising is the spin formulation equivalent to a QUBO (footnote 2 of the
 // paper): H(s) = Σ_i h_i·s_i + Σ_{i<j} J_ij·s_i·s_j with s_i ∈ {−1,+1}.
 // The partitioning encoding of Sec. 4.1.2 is naturally expressed over
@@ -55,19 +57,43 @@ func (is *Ising) Energy(s []int8) float64 {
 // ToQUBO converts the Ising model to an equivalent QUBO via s_i = 2x_i − 1.
 // Minima correspond one-to-one: spin +1 maps to x = 1. The constant energy
 // shift is dropped (it does not affect minima).
+//
+// Couplings are emitted in sorted key order, not map order: each coupling
+// folds −2J into both endpoints' linear coefficients, so iterating the map
+// directly would accumulate those floats in a different order — and round
+// differently in the last bits — on every call. Downstream consumers
+// compare energies of degenerate optima (e.g. the two orientations of a
+// graph bisection), where that noise flips ties at random.
 func (is *Ising) ToQUBO() *Model {
 	b := NewBuilder(is.n)
 	for i, hi := range is.h {
 		// h·s = h·(2x−1) = 2h·x − h.
 		b.AddLinear(i, 2*hi)
 	}
-	for k, c := range is.j {
+	for _, k := range is.sortedCouplings() {
+		c := is.j[k]
 		// J·s_i·s_j = J·(2x_i−1)(2x_j−1) = 4J·x_i·x_j − 2J·x_i − 2J·x_j + J.
 		b.AddQuadratic(k[0], k[1], 4*c)
 		b.AddLinear(k[0], -2*c)
 		b.AddLinear(k[1], -2*c)
 	}
 	return b.Build()
+}
+
+// sortedCouplings returns the coupling keys in ascending (i, j) order so
+// float accumulation over them is reproducible.
+func (is *Ising) sortedCouplings() [][2]int {
+	keys := make([][2]int, 0, len(is.j))
+	for k := range is.j {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	return keys
 }
 
 // SpinsFromBinary converts a binary assignment to spins (+1 for 1, −1 for 0).

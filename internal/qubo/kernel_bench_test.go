@@ -1,0 +1,53 @@
+package qubo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks: the inner-loop primitives every annealing
+// simulator is built from. CI runs these with -bench=BenchmarkKernel
+// -benchtime=1x as a smoke test; BENCH_kernels.json records full runs.
+
+func benchKernelState(b *testing.B) *State {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	m := randomModel(rng, 512, 0.05)
+	return NewRandomState(m, rng)
+}
+
+// BenchmarkKernelFlip measures the O(degree) incremental flip including
+// delta-array maintenance.
+func BenchmarkKernelFlip(b *testing.B) {
+	st := benchKernelState(b)
+	n := st.Model().NumVariables()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Flip(i % n)
+	}
+}
+
+// BenchmarkKernelCountBelow measures the candidate-count pass of the DA's
+// parallel trial step: one tight scan over the flat delta array.
+func BenchmarkKernelCountBelow(b *testing.B) {
+	st := benchKernelState(b)
+	b.ResetTimer()
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		acc += st.CountBelow(float64(i%7) - 3)
+	}
+	_ = acc
+}
+
+// BenchmarkKernelPickKthBelow measures the candidate-select pass.
+func BenchmarkKernelPickKthBelow(b *testing.B) {
+	st := benchKernelState(b)
+	k := st.CountBelow(0) / 2
+	if k == 0 {
+		k = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.PickKthBelow(0, k)
+	}
+}

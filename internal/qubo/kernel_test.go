@@ -1,0 +1,182 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDeltaArrayMatchesBruteForce drives a state through random flips and
+// resets, checking after each mutation that the maintained delta array
+// equals the energy difference a full re-evaluation reports.
+func TestDeltaArrayMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(rng, 24, 0.3)
+		st := NewRandomState(m, rng)
+		for mut := 0; mut < 40; mut++ {
+			if rng.Intn(8) == 0 {
+				st.Reset(randomAssignment(rng, m.NumVariables()))
+			} else {
+				st.Flip(rng.Intn(m.NumVariables()))
+			}
+			x := st.Assignment()
+			base := m.Energy(x)
+			deltas := st.Deltas()
+			for i := 0; i < m.NumVariables(); i++ {
+				x[i] ^= 1
+				want := m.Energy(x) - base
+				x[i] ^= 1
+				if math.Abs(deltas[i]-want) > 1e-9 {
+					t.Fatalf("trial %d mut %d: delta[%d] = %v, brute force %v", trial, mut, i, deltas[i], want)
+				}
+				if got := st.DeltaEnergy(i); got != deltas[i] {
+					t.Fatalf("DeltaEnergy(%d) = %v, Deltas()[%d] = %v", i, got, i, deltas[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCountBelowAndPickKthBelow checks the scan pair against the naive
+// per-variable loop they replace.
+func TestCountBelowAndPickKthBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomModel(rng, 32, 0.4)
+	st := NewRandomState(m, rng)
+	for trial := 0; trial < 50; trial++ {
+		st.Flip(rng.Intn(m.NumVariables()))
+		theta := rng.NormFloat64() * 20
+		want := 0
+		for v := 0; v < m.NumVariables(); v++ {
+			if st.DeltaEnergy(v) < theta {
+				want++
+			}
+		}
+		if got := st.CountBelow(theta); got != want {
+			t.Fatalf("CountBelow(%v) = %d, want %d", theta, got, want)
+		}
+		seen := 0
+		for v := 0; v < m.NumVariables(); v++ {
+			if st.DeltaEnergy(v) < theta {
+				if got := st.PickKthBelow(theta, seen); got != v {
+					t.Fatalf("PickKthBelow(%v, %d) = %d, want %d", theta, seen, got, v)
+				}
+				seen++
+			}
+		}
+		if got := st.PickKthBelow(theta, want); got != -1 {
+			t.Errorf("PickKthBelow past the end = %d, want -1", got)
+		}
+	}
+}
+
+func TestCopyCarriesDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomModel(rng, 16, 0.5)
+	st := NewRandomState(m, rng)
+	c := st.Copy()
+	// Mutating the copy must not leak into the original's delta array.
+	c.Flip(0)
+	for i := 0; i < m.NumVariables(); i++ {
+		if st.DeltaEnergy(i) != st.Deltas()[i] {
+			t.Fatalf("original delta desynced at %d", i)
+		}
+	}
+	c.Flip(0) // undo
+	for i := 0; i < m.NumVariables(); i++ {
+		if math.Abs(c.DeltaEnergy(i)-st.DeltaEnergy(i)) > 1e-9 {
+			t.Fatalf("copy delta[%d] = %v, original %v", i, c.DeltaEnergy(i), st.DeltaEnergy(i))
+		}
+	}
+}
+
+func TestBestTracker(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomModel(rng, 12, 0.5)
+	st := NewRandomState(m, rng)
+	var tr BestTracker
+	if tr.Seen() {
+		t.Fatal("fresh tracker claims an observation")
+	}
+	if !tr.Observe(st) {
+		t.Fatal("first Observe must record")
+	}
+	wantEnergy := st.Energy()
+	wantX := st.Assignment()
+	// Walk the state around; the tracker must always hold the minimum seen.
+	for i := 0; i < 200; i++ {
+		st.Flip(rng.Intn(m.NumVariables()))
+		improved := st.Energy() < wantEnergy
+		if got := tr.Observe(st); got != improved {
+			t.Fatalf("Observe returned %v at energy %v (best %v)", got, st.Energy(), wantEnergy)
+		}
+		if improved {
+			wantEnergy = st.Energy()
+			wantX = st.Assignment()
+		}
+	}
+	if tr.Energy() != wantEnergy {
+		t.Errorf("tracker energy %v, want %v", tr.Energy(), wantEnergy)
+	}
+	got := tr.Assignment()
+	for i := range wantX {
+		if got[i] != wantX[i] {
+			t.Fatalf("tracker assignment differs at %d", i)
+		}
+	}
+	// The returned assignment must be a copy, not the reused buffer.
+	got[0] ^= 1
+	if again := tr.Assignment(); again[0] == got[0] {
+		t.Error("Assignment returned the tracker's internal buffer")
+	}
+	// Incremental energies accumulate float rounding over many flips, so
+	// compare against exact re-evaluation with a tolerance.
+	if math.Abs(m.Energy(tr.Assignment())-tr.Energy()) > 1e-6 {
+		t.Error("tracked energy does not match tracked assignment")
+	}
+}
+
+// TestIsingToQUBOBitIdenticalAcrossBuilds pins the sorted coupling
+// emission: converting the same Ising model repeatedly must produce
+// bit-identical QUBO coefficients. Iterating the coupling map directly
+// accumulates the folded −2J linear contributions in a different order —
+// and rounds differently — on every conversion, which downstream flips
+// ties between degenerate optima (the partitioning pipeline compares the
+// two orientations of a bisection, which are exactly such a tie).
+func TestIsingToQUBOBitIdenticalAcrossBuilds(t *testing.T) {
+	const n = 40
+	build := func() *Model {
+		is := NewIsing(n)
+		r := rand.New(rand.NewSource(99))
+		for i := 0; i < n; i++ {
+			is.AddField(i, r.NormFloat64())
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.5 {
+					is.AddCoupling(i, j, r.NormFloat64()/3)
+				}
+			}
+		}
+		return is.ToQUBO()
+	}
+	ref := build()
+	for trial := 0; trial < 20; trial++ {
+		m := build()
+		for i := 0; i < n; i++ {
+			if math.Float64bits(m.Linear(i)) != math.Float64bits(ref.Linear(i)) {
+				t.Fatalf("trial %d: linear[%d] = %v differs from reference %v", trial, i, m.Linear(i), ref.Linear(i))
+			}
+		}
+		mt, rt := m.Terms(), ref.Terms()
+		if len(mt) != len(rt) {
+			t.Fatalf("trial %d: %d terms vs %d", trial, len(mt), len(rt))
+		}
+		for k := range mt {
+			if mt[k] != rt[k] {
+				t.Fatalf("trial %d: term %d differs: %+v vs %+v", trial, k, mt[k], rt[k])
+			}
+		}
+	}
+}

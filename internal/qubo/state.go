@@ -2,24 +2,37 @@ package qubo
 
 import "math/rand"
 
-// State is a mutable variable assignment for a Model with incrementally
-// maintained local fields, mirroring what annealing hardware keeps per
-// variable: field[i] = c_ii + Σ_j c_ij·x_j, so that the energy change of
-// flipping variable i is available in O(1) and a flip updates neighbours in
-// O(degree). This is the data structure behind both the classical SA
+// State is a mutable variable assignment for a Model with an incrementally
+// maintained flat delta array: delta[i] = (1−2x_i)·field_i where
+// field_i = c_ii + Σ_j c_ij·x_j, i.e. the energy change of flipping
+// variable i. Keeping the deltas themselves — rather than the raw local
+// fields annealing hardware stores — means the annealers' candidate scans
+// reduce to tight loops over one contiguous float64 slice (see CountBelow
+// and PickKthBelow) and the acceptance test is a single array read. A flip
+// updates the array in O(degree) with one branch-free signed addition per
+// neighbour. This is the data structure behind both the classical SA
 // baseline and the Digital Annealer simulator's parallel trial step.
 type State struct {
-	m      *Model
-	x      []int8
-	fields []float64
+	m *Model
+	x []int8
+	// xsign[i] = 1−2x_i as a float64 (+1 when x_i = 0, −1 when x_i = 1),
+	// kept alongside x so neighbour delta updates multiply instead of
+	// branching on the neighbour's bit.
+	xsign []float64
+	// delta[i] caches DeltaEnergy(i); a flip of i negates delta[i] and
+	// adjusts each neighbour j by xsign[i]·c_ij·xsign[j].
+	delta  []float64
 	energy float64
 }
 
 // NewState returns the all-zero state of m (energy 0 by construction, since
 // constants are dropped at build time).
 func NewState(m *Model) *State {
-	s := &State{m: m, x: make([]int8, m.n), fields: make([]float64, m.n)}
-	copy(s.fields, m.linear)
+	s := &State{m: m, x: make([]int8, m.n), xsign: make([]float64, m.n), delta: make([]float64, m.n)}
+	for i := range s.xsign {
+		s.xsign[i] = 1
+	}
+	copy(s.delta, m.linear) // x ≡ 0 ⇒ delta[i] = field[i] = linear[i]
 	return s
 }
 
@@ -35,19 +48,27 @@ func NewRandomState(m *Model, rng *rand.Rand) *State {
 }
 
 // Reset sets every variable of s to the given assignment, recomputing
-// fields and energy from scratch.
+// deltas and energy from scratch.
 func (s *State) Reset(x []int8) {
 	if len(x) != s.m.n {
 		panic("qubo: reset with wrong state length")
 	}
 	copy(s.x, x)
-	copy(s.fields, s.m.linear)
+	copy(s.delta, s.m.linear)
 	for _, t := range s.m.terms {
 		if s.x[t.J] != 0 {
-			s.fields[t.I] += t.Coeff
+			s.delta[t.I] += t.Coeff
 		}
 		if s.x[t.I] != 0 {
-			s.fields[t.J] += t.Coeff
+			s.delta[t.J] += t.Coeff
+		}
+	}
+	for i := range s.delta {
+		if s.x[i] != 0 {
+			s.xsign[i] = -1
+			s.delta[i] = -s.delta[i]
+		} else {
+			s.xsign[i] = 1
 		}
 	}
 	s.energy = s.m.Energy(s.x)
@@ -70,33 +91,70 @@ func (s *State) Assignment() []int8 {
 func (s *State) Energy() float64 { return s.energy }
 
 // DeltaEnergy returns the energy change that flipping variable i would
-// cause, in O(1): (1−2x_i)·field_i.
-func (s *State) DeltaEnergy(i int) float64 {
-	if s.x[i] == 0 {
-		return s.fields[i]
+// cause, in O(1) from the maintained delta array.
+func (s *State) DeltaEnergy(i int) float64 { return s.delta[i] }
+
+// Deltas exposes the flat per-variable flip deltas. The slice is owned by
+// the state and valid only until the next Flip or Reset; callers must not
+// modify it. Annealing kernels scan it directly instead of calling
+// DeltaEnergy per variable.
+func (s *State) Deltas() []float64 { return s.delta }
+
+// CountBelow returns the number of variables whose flip delta is strictly
+// below theta — the accepted-candidate count of the Digital Annealer's
+// parallel trial step — as one tight pass over the delta array.
+func (s *State) CountBelow(theta float64) int {
+	count := 0
+	for _, d := range s.delta {
+		if d < theta {
+			count++
+		}
 	}
-	return -s.fields[i]
+	return count
 }
 
-// Flip toggles variable i, updating energy and neighbour fields in
+// PickKthBelow returns the index of the k-th variable (0-based, ascending
+// index order) whose flip delta is strictly below theta, or -1 when fewer
+// than k+1 variables qualify. Together with CountBelow it implements the
+// two-pass candidate selection of the parallel trial step.
+func (s *State) PickKthBelow(theta float64, k int) int {
+	for i, d := range s.delta {
+		if d < theta {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return -1
+}
+
+// Flip toggles variable i, updating energy and neighbour deltas in
 // O(degree(i)).
 func (s *State) Flip(i int) {
-	delta := s.DeltaEnergy(i)
-	var sign float64 = 1
-	if s.x[i] != 0 {
-		sign = -1
-	}
+	d := s.delta[i]
+	sign := s.xsign[i]
 	s.x[i] ^= 1
-	s.energy += delta
+	s.xsign[i] = -sign
+	s.energy += d
+	s.delta[i] = -d
 	for _, nb := range s.m.adj[i] {
-		s.fields[nb.j] += sign * nb.coeff
+		// field_j changes by sign·c_ij; delta_j = xsign_j·field_j.
+		s.delta[nb.j] += sign * nb.coeff * s.xsign[nb.j]
 	}
 }
 
 // Copy returns an independent deep copy of s.
 func (s *State) Copy() *State {
-	c := &State{m: s.m, x: make([]int8, len(s.x)), fields: make([]float64, len(s.fields)), energy: s.energy}
+	c := &State{
+		m:      s.m,
+		x:      make([]int8, len(s.x)),
+		xsign:  make([]float64, len(s.xsign)),
+		delta:  make([]float64, len(s.delta)),
+		energy: s.energy,
+	}
 	copy(c.x, s.x)
-	copy(c.fields, s.fields)
+	copy(c.xsign, s.xsign)
+	copy(c.delta, s.delta)
 	return c
 }

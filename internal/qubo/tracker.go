@@ -1,0 +1,45 @@
+package qubo
+
+// BestTracker records the best (lowest-energy) assignment observed during
+// an annealing run without allocating per improvement: the assignment is
+// kept in one reused []int8 buffer instead of a full State.Copy (which
+// would also duplicate the fields and delta arrays). Improvements happen
+// thousands of times per run on hot paths, so this removes the dominant
+// allocation of the simulators' inner loops.
+type BestTracker struct {
+	x      []int8
+	energy float64
+	seen   bool
+}
+
+// Observe records st's assignment when it improves on the best energy seen
+// so far (or when nothing has been recorded yet) and reports whether it
+// did. The assignment bytes are copied into the tracker's reused buffer;
+// st is not retained.
+func (t *BestTracker) Observe(st *State) bool {
+	if t.seen && st.energy >= t.energy {
+		return false
+	}
+	if t.x == nil {
+		t.x = make([]int8, len(st.x))
+	}
+	copy(t.x, st.x)
+	t.energy = st.energy
+	t.seen = true
+	return true
+}
+
+// Seen reports whether any state has been recorded.
+func (t *BestTracker) Seen() bool { return t.seen }
+
+// Energy returns the best energy observed. It must not be called before
+// the first Observe.
+func (t *BestTracker) Energy() float64 { return t.energy }
+
+// Assignment returns an independent copy of the best assignment observed,
+// safe to hand out as a Sample after the tracker's buffer is reused.
+func (t *BestTracker) Assignment() []int8 {
+	out := make([]int8, len(t.x))
+	copy(out, t.x)
+	return out
+}

@@ -1,0 +1,71 @@
+package sa
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/solver"
+)
+
+// TestSolveDeterministicAcrossParallelism pins the worker-pool contract:
+// per-run RNG streams derive from the request seed before dispatch, so the
+// sample set is bit-identical for every Parallelism setting.
+func TestSolveDeterministicAcrossParallelism(t *testing.T) {
+	p := mqo.PaperExample()
+	enc, err := encoding.EncodeMQO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Solver{}
+	req := solver.Request{Model: enc.Model, Runs: 8, Sweeps: 200, Seed: 42}
+	var ref *solver.Result
+	for _, par := range []int{-1, 1, 4, runtime.GOMAXPROCS(0)} {
+		r := req
+		r.Parallelism = par
+		res, err := s.Solve(context.Background(), r)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.Samples) != len(ref.Samples) || res.Sweeps != ref.Sweeps {
+			t.Fatalf("parallelism %d: shape (%d samples, %d sweeps) differs from (%d, %d)",
+				par, len(res.Samples), res.Sweeps, len(ref.Samples), ref.Sweeps)
+		}
+		for i := range res.Samples {
+			if res.Samples[i].Energy != ref.Samples[i].Energy ||
+				!reflect.DeepEqual(res.Samples[i].Assignment, ref.Samples[i].Assignment) {
+				t.Fatalf("parallelism %d: sample %d differs", par, i)
+			}
+		}
+	}
+}
+
+// BenchmarkKernelSASweep measures one Metropolis sweep over all variables
+// (shuffle + n acceptance tests) via a fixed-budget solve, reporting
+// ns/sweep alongside the per-solve figure.
+func BenchmarkKernelSASweep(b *testing.B) {
+	p := mqo.PaperExample()
+	enc, err := encoding.EncodeMQO(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const sweeps = 64
+	s := &Solver{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(context.Background(), solver.Request{
+			Model: enc.Model, Runs: 1, Sweeps: sweeps, Seed: int64(i), Parallelism: -1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sweeps), "ns/sweep")
+}

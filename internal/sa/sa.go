@@ -97,7 +97,11 @@ func (s *Solver) betaRange(m *qubo.Model) (hot, cold float64) {
 	return hot, cold
 }
 
-// Solve implements solver.Solver.
+// Solve implements solver.Solver. Independent restarts execute on a
+// bounded worker pool (see Request.Parallelism); per-run RNGs derive from
+// the request seed before dispatch, so Samples are identical for every
+// worker count. The inverse-temperature schedule is computed once per
+// Solve and shared read-only by all runs.
 func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
 	m := req.Model
 	if m == nil || m.NumVariables() == 0 {
@@ -110,22 +114,32 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 	}
 	runs, sweeps := s.runs(req), s.sweeps(req)
 	hot, cold := s.betaRange(m)
-	res := &solver.Result{}
-	totalSweeps := 0
-	rng := rand.New(rand.NewSource(req.Seed))
-	order := make([]int, m.NumVariables())
-	for i := range order {
-		order[i] = i
+	betas := make([]float64, sweeps)
+	for sweep := range betas {
+		betas[sweep] = geometricBeta(hot, cold, sweep, sweeps)
 	}
-	for run := 0; run < runs; run++ {
-		runRng := rand.New(rand.NewSource(rng.Int63()))
+	seeds := solver.RunSeeds(req.Seed, runs)
+	samples := make([]solver.Sample, runs)
+	sweepCounts := make([]int, runs)
+	done := make([]bool, runs)
+	solver.ForEachRun(runs, solver.Workers(req.Parallelism), func(run int) {
+		if run > 0 && (solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline))) {
+			return
+		}
+		runRng := rand.New(rand.NewSource(seeds[run]))
 		st := qubo.NewRandomState(m, runRng)
-		best := st.Copy()
+		var best qubo.BestTracker
+		best.Observe(st)
+		order := make([]int, m.NumVariables())
+		for i := range order {
+			order[i] = i
+		}
+		performed := 0
 		for sweep := 0; sweep < sweeps; sweep++ {
 			if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
 				break
 			}
-			beta := geometricBeta(hot, cold, sweep, sweeps)
+			beta := betas[sweep]
 			runRng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 			for _, v := range order {
 				delta := st.DeltaEnergy(v)
@@ -133,18 +147,20 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 					st.Flip(v)
 				}
 			}
-			if st.Energy() < best.Energy() {
-				best = st.Copy()
-			}
-			totalSweeps++
+			best.Observe(st)
+			performed++
 		}
-		res.Samples = append(res.Samples, solver.Sample{Assignment: best.Assignment(), Energy: best.Energy()})
-		if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
-			break
+		samples[run] = solver.Sample{Assignment: best.Assignment(), Energy: best.Energy()}
+		sweepCounts[run], done[run] = performed, true
+	})
+	res := &solver.Result{}
+	for run := range samples {
+		if done[run] {
+			res.Samples = append(res.Samples, samples[run])
+			res.Sweeps += sweepCounts[run]
 		}
 	}
 	res.SortSamples()
-	res.Sweeps = totalSweeps
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -1,0 +1,70 @@
+package solver
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a request's Parallelism field into a worker count:
+// positive values are honoured as given, zero falls back to GOMAXPROCS
+// (use every core), negative forces sequential execution.
+func Workers(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	if parallelism < 0 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunSeeds derives one RNG seed per run from the request seed, in run
+// order and before any run is dispatched. Each run then builds its own
+// rand.Rand from seeds[run], which makes results bit-identical regardless
+// of how runs are interleaved across workers. The derivation matches the
+// sequential rng.Int63() chain the solvers historically used, so existing
+// seeds reproduce the same per-run streams.
+func RunSeeds(seed int64, runs int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	seeds := make([]int64, runs)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	return seeds
+}
+
+// ForEachRun invokes fn(run) exactly once for every run in [0, runs),
+// distributing runs over at most workers goroutines. fn must only touch
+// per-run state (or synchronise itself); callers pre-derive per-run
+// randomness with RunSeeds so the outcome is independent of the worker
+// count. With one worker — or one run — everything executes on the calling
+// goroutine, keeping the sequential path allocation- and scheduler-free.
+func ForEachRun(runs, workers int, fn func(run int)) {
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		for run := 0; run < runs; run++ {
+			fn(run)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				run := int(next.Add(1)) - 1
+				if run >= runs {
+					return
+				}
+				fn(run)
+			}
+		}()
+	}
+	wg.Wait()
+}

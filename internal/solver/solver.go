@@ -33,6 +33,11 @@ type Request struct {
 	Seed int64
 	// TimeBudget optionally bounds wall-clock time; zero means unbounded.
 	TimeBudget time.Duration
+	// Parallelism bounds the worker goroutines executing the request's
+	// independent runs; zero means GOMAXPROCS, negative forces sequential
+	// execution. Solvers derive every run's RNG stream from Seed before
+	// dispatch, so Samples are identical for every Parallelism setting.
+	Parallelism int
 }
 
 // Sample is one candidate assignment with its energy.

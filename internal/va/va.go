@@ -93,11 +93,20 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 		deadline = start.Add(req.TimeBudget)
 	}
 	rng := rand.New(rand.NewSource(req.Seed))
+	// Replica slots get their own RNG streams, derived from the master
+	// seed before the anneal starts: the slot RNG stays with the slot even
+	// when resampling moves states between slots, so every Metropolis draw
+	// is independent of how slots are scheduled across workers and results
+	// are identical for every Parallelism setting. The master rng is only
+	// consumed here and at resampling barriers.
 	replicas := make([]*qubo.State, s.replicas())
+	rngs := make([]*rand.Rand, len(replicas))
 	for i := range replicas {
 		replicas[i] = qubo.NewRandomState(m, rng)
+		rngs[i] = rand.New(rand.NewSource(rng.Int63()))
 	}
-	best := replicas[0].Copy()
+	var best qubo.BestTracker
+	best.Observe(replicas[0])
 	sweeps := s.sweeps(req)
 	resample := s.ResampleEvery
 	if resample == 0 {
@@ -105,28 +114,29 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 	}
 	hot, cold := temperatureRange(m)
 	n := m.NumVariables()
+	workers := solver.Workers(req.Parallelism)
 	performed := 0
 	for sweep := 0; sweep < sweeps; sweep++ {
 		if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
 			break
 		}
 		temp := hot * math.Pow(cold/hot, float64(sweep)/float64(maxInt(sweeps-1, 1)))
-		// Vector step: every replica attempts a Metropolis flip of the
-		// same variable index — this lockstep access pattern is what the
-		// vector engine pipelines.
-		for v := 0; v < n; v++ {
-			for _, st := range replicas {
+		// Vector step: every replica sweeps the variables at the same
+		// temperature — the lockstep pattern the vector engine pipelines —
+		// and the replicas are mutually independent within a sweep, so the
+		// worker pool processes them concurrently between barriers.
+		solver.ForEachRun(len(replicas), workers, func(i int) {
+			st, r := replicas[i], rngs[i]
+			for v := 0; v < n; v++ {
 				delta := st.DeltaEnergy(v)
-				if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
 					st.Flip(v)
 				}
 			}
-		}
+		})
 		performed++
 		for _, st := range replicas {
-			if st.Energy() < best.Energy() {
-				best = st.Copy()
-			}
+			best.Observe(st)
 		}
 		if resample > 0 && sweep > 0 && sweep%resample == 0 {
 			resamplePopulation(replicas, rng)
