@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, ablation or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, ablation or all")
 		scale   = flag.String("scale", "reduced", "experiment scale: smoke, reduced or paper")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
 		outDir  = flag.String("out", "", "write per-figure files to this directory instead of stdout")
@@ -56,6 +56,7 @@ func main() {
 		{"6", func() (*bench.Report, error) { return bench.Fig6(ctx, cfg, sc) }},
 		{"7", func() (*bench.Report, error) { return bench.Fig7(ctx, cfg, sc) }},
 		{"devices", func() (*bench.Report, error) { return bench.DeviceShootout(ctx, cfg, sc) }},
+		{"phases", func() (*bench.Report, error) { return bench.PhaseReport(ctx, cfg, sc) }},
 		{"ablation", func() (*bench.Report, error) { return nil, nil }}, // expanded below
 	}
 	selected := map[string]bool{}
@@ -100,7 +101,7 @@ func main() {
 	}
 
 	start := time.Now()
-	for _, j := range jobs[:7] {
+	for _, j := range jobs[:len(jobs)-1] {
 		if !selected[j.name] {
 			continue
 		}

@@ -69,8 +69,8 @@ func TestRosterNamesMatchPaper(t *testing.T) {
 func TestRunInstanceNormalises(t *testing.T) {
 	p := mqo.PaperExample()
 	algos := []Algorithm{
-		{Name: "best", Run: func(context.Context, *mqo.Problem, int64) (float64, error) { return 25, nil }},
-		{Name: "worst", Run: func(context.Context, *mqo.Problem, int64) (float64, error) { return 50, nil }},
+		{Name: "best", Run: func(context.Context, *mqo.Problem, int64) (Score, error) { return Score{Cost: 25}, nil }},
+		{Name: "worst", Run: func(context.Context, *mqo.Problem, int64) (Score, error) { return Score{Cost: 50}, nil }},
 	}
 	ms := RunInstance(context.Background(), algos, p, 1)
 	if ms[0].Normalised != 1 {
@@ -84,9 +84,9 @@ func TestRunInstanceNormalises(t *testing.T) {
 func TestRunInstanceToleratesErrors(t *testing.T) {
 	p := mqo.PaperExample()
 	algos := []Algorithm{
-		{Name: "ok", Run: func(context.Context, *mqo.Problem, int64) (float64, error) { return 30, nil }},
-		{Name: "broken", Run: func(context.Context, *mqo.Problem, int64) (float64, error) {
-			return 0, context.DeadlineExceeded
+		{Name: "ok", Run: func(context.Context, *mqo.Problem, int64) (Score, error) { return Score{Cost: 30}, nil }},
+		{Name: "broken", Run: func(context.Context, *mqo.Problem, int64) (Score, error) {
+			return Score{}, context.DeadlineExceeded
 		}},
 	}
 	ms := RunInstance(context.Background(), algos, p, 1)

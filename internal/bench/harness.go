@@ -88,12 +88,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Score is the result of one algorithm run: the solution cost plus, for the
+// pipeline-based approaches, the per-phase wall-clock breakdown. Baselines
+// without pipeline phases leave Timings zero.
+type Score struct {
+	Cost    float64
+	Timings core.PhaseTimings
+}
+
 // Algorithm is one competing MQO approach of the evaluation.
 type Algorithm struct {
 	// Name as used in the paper's figures.
 	Name string
-	// Run optimises p and returns the solution cost.
-	Run func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error)
+	// Run optimises p and returns the solution score.
+	Run func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error)
 }
 
 // Roster assembles the eight approaches of Sec. 5.1 under the given
@@ -123,14 +131,14 @@ func HC(cfg Config) Algorithm {
 	cfg = cfg.withDefaults()
 	return Algorithm{
 		Name: "HC",
-		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
+		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			res, err := baseline.HillClimb(ctx, p, baseline.Options{
 				MaxIterations: cfg.HCIterations, TimeBudget: cfg.TimeBudget, Seed: seed,
 			})
 			if err != nil {
-				return 0, err
+				return Score{}, err
 			}
-			return res.Cost, nil
+			return Score{Cost: res.Cost}, nil
 		},
 	}
 }
@@ -141,7 +149,7 @@ func Genetic(cfg Config) Algorithm {
 	cfg = cfg.withDefaults()
 	return Algorithm{
 		Name: "Genetic",
-		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
+		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			best := 0.0
 			for i, pop := range cfg.GeneticPopulations {
 				res, err := baseline.Genetic(ctx, p, baseline.GeneticOptions{
@@ -149,13 +157,13 @@ func Genetic(cfg Config) Algorithm {
 					PopulationSize: pop,
 				})
 				if err != nil {
-					return 0, err
+					return Score{}, err
 				}
 				if i == 0 || res.Cost < best {
 					best = res.Cost
 				}
 			}
-			return best, nil
+			return Score{Cost: best}, nil
 		},
 	}
 }
@@ -165,15 +173,15 @@ func SADefault(cfg Config) Algorithm {
 	cfg = cfg.withDefaults()
 	return Algorithm{
 		Name: "SA (Default)",
-		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
+		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveDefault(ctx, p, core.Options{
 				Device: &sa.Solver{}, Runs: cfg.Runs,
 				TotalSweeps: saSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
-				return 0, err
+				return Score{}, err
 			}
-			return out.Cost, nil
+			return Score{Cost: out.Cost, Timings: out.Timings}, nil
 		},
 	}
 }
@@ -185,15 +193,15 @@ func SAIncremental(cfg Config) Algorithm {
 	cfg = cfg.withDefaults()
 	return Algorithm{
 		Name: "SA (Incremental)",
-		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
+		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveIncremental(ctx, p, core.Options{
 				Device: &sa.Solver{}, Capacity: cfg.DACapacity, Runs: cfg.Runs,
 				TotalSweeps: saSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
-				return 0, err
+				return Score{}, err
 			}
-			return out.Cost, nil
+			return Score{Cost: out.Cost, Timings: out.Timings}, nil
 		},
 	}
 }
@@ -204,15 +212,15 @@ func HQAIncremental(cfg Config) Algorithm {
 	cfg = cfg.withDefaults()
 	return Algorithm{
 		Name: "HQA",
-		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
+		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveIncremental(ctx, p, core.Options{
 				Device: &hqa.Solver{}, Capacity: cfg.DACapacity, Runs: 1,
 				Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
-				return 0, err
+				return Score{}, err
 			}
-			return out.Cost, nil
+			return Score{Cost: out.Cost, Timings: out.Timings}, nil
 		},
 	}
 }
@@ -223,15 +231,15 @@ func DADefault(cfg Config) Algorithm {
 	cfg = cfg.withDefaults()
 	return Algorithm{
 		Name: "DA (Default)",
-		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
+		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveDefault(ctx, p, core.Options{
 				Device: &da.Solver{CapacityVars: cfg.DACapacity}, Runs: cfg.Runs,
 				TotalSweeps: daSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
-				return 0, err
+				return Score{}, err
 			}
-			return out.Cost, nil
+			return Score{Cost: out.Cost, Timings: out.Timings}, nil
 		},
 	}
 }
@@ -241,15 +249,15 @@ func DAParallel(cfg Config) Algorithm {
 	cfg = cfg.withDefaults()
 	return Algorithm{
 		Name: "DA (Parallel)",
-		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
+		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveParallel(ctx, p, core.Options{
 				Device: &da.Solver{CapacityVars: cfg.DACapacity}, Runs: cfg.Runs,
 				TotalSweeps: daSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
-				return 0, err
+				return Score{}, err
 			}
-			return out.Cost, nil
+			return Score{Cost: out.Cost, Timings: out.Timings}, nil
 		},
 	}
 }
@@ -260,15 +268,15 @@ func DAIncremental(cfg Config) Algorithm {
 	cfg = cfg.withDefaults()
 	return Algorithm{
 		Name: "DA (Incremental)",
-		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (float64, error) {
+		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveIncremental(ctx, p, core.Options{
 				Device: &da.Solver{CapacityVars: cfg.DACapacity}, Runs: cfg.Runs,
 				TotalSweeps: daSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
 			})
 			if err != nil {
-				return 0, err
+				return Score{}, err
 			}
-			return out.Cost, nil
+			return Score{Cost: out.Cost, Timings: out.Timings}, nil
 		},
 	}
 }
@@ -295,7 +303,10 @@ type Measurement struct {
 	// on the same instance; the winner scores exactly 1.
 	Normalised float64
 	Elapsed    time.Duration
-	Err        error
+	// Timings breaks Elapsed down by pipeline phase for the pipeline-based
+	// approaches (zero for the baselines).
+	Timings core.PhaseTimings
+	Err     error
 }
 
 // RunInstance executes every algorithm on p and fills in normalised costs.
@@ -305,10 +316,10 @@ func RunInstance(ctx context.Context, algos []Algorithm, p *mqo.Problem, seed in
 	haveBest := false
 	for i, a := range algos {
 		start := time.Now()
-		cost, err := a.Run(ctx, p, seed+int64(i)*7919)
-		ms[i] = Measurement{Algorithm: a.Name, Instance: p.Name, Cost: cost, Elapsed: time.Since(start), Err: err}
-		if err == nil && (!haveBest || cost < best) {
-			best = cost
+		score, err := a.Run(ctx, p, seed+int64(i)*7919)
+		ms[i] = Measurement{Algorithm: a.Name, Instance: p.Name, Cost: score.Cost, Elapsed: time.Since(start), Timings: score.Timings, Err: err}
+		if err == nil && (!haveBest || score.Cost < best) {
+			best = score.Cost
 			haveBest = true
 		}
 	}

@@ -87,6 +87,29 @@ type Outcome struct {
 	Sweeps int
 	// Elapsed is the wall-clock optimisation time.
 	Elapsed time.Duration
+	// Timings breaks Elapsed down by pipeline phase.
+	Timings PhaseTimings
+}
+
+// PhaseTimings attributes wall-clock time to the pipeline phases. For
+// strategies that overlap phases (the incremental strategy materialises the
+// next encoding while the device anneals the current one), the per-phase
+// durations measure the work itself and may sum to more than Elapsed.
+type PhaseTimings struct {
+	// Partition is the partitioning phase (graph build, recursive bisection,
+	// post-processing).
+	Partition time.Duration
+	// Encode covers QUBO skeleton preparation and every (re-)materialisation.
+	Encode time.Duration
+	// Anneal is device solve time.
+	Anneal time.Duration
+	// Decode covers sample decoding, repair, and solution merging.
+	Decode time.Duration
+}
+
+// Total sums the per-phase durations.
+func (t PhaseTimings) Total() time.Duration {
+	return t.Partition + t.Encode + t.Anneal + t.Decode
 }
 
 func (o Options) capacity() int {
@@ -115,7 +138,7 @@ func (o Options) partitionProblem(ctx context.Context, p *mqo.Problem) (*partiti
 		Capacity:          o.capacity(),
 		Solver:            ps,
 		Runs:              o.Runs,
-		Sweeps:            o.perPartitionSweeps(1), // partitioning QUBOs are small; budget like one partition
+		Sweeps:            o.partitionSweeps(1, 0), // partitioning QUBOs are small; budget like one partition
 		Seed:              o.Seed,
 		PostProcessParses: o.PostProcessParses,
 		MinPartFraction:   o.MinPartFraction,
@@ -123,8 +146,12 @@ func (o Options) partitionProblem(ctx context.Context, p *mqo.Problem) (*partiti
 	})
 }
 
-// perPartitionSweeps divides the total budget across n partial problems.
-func (o Options) perPartitionSweeps(n int) int {
+// partitionSweeps returns the sweep budget of the i-th of n partial
+// problems: TotalSweeps divided evenly, with the remainder distributed one
+// sweep each over the first TotalSweeps mod n partitions so the per-partition
+// budgets sum exactly to TotalSweeps (constant-budget comparisons previously
+// ran up to n−1 sweeps under budget).
+func (o Options) partitionSweeps(n, i int) int {
 	if o.TotalSweeps <= 0 {
 		return 0 // device default
 	}
@@ -132,52 +159,107 @@ func (o Options) perPartitionSweeps(n int) int {
 		n = 1
 	}
 	s := o.TotalSweeps / n
+	if i < o.TotalSweeps%n {
+		s++
+	}
 	if s < 1 {
 		s = 1
 	}
 	return s
 }
 
-// solveSub encodes and solves one partial problem on the device and
-// returns its samples decoded into valid local solutions.
-func solveSub(ctx context.Context, dev solver.Solver, sub *mqo.SubProblem, runs, sweeps int, seed int64, parallelism int) ([]*mqo.Solution, int, error) {
-	enc, err := encoding.EncodeMQO(sub.Local)
-	if err != nil {
-		return nil, 0, err
-	}
-	if err := solver.CheckCapacity(dev, enc.Model); err != nil {
-		return nil, 0, err
-	}
-	res, err := dev.Solve(ctx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed, Parallelism: parallelism})
-	if err != nil {
-		return nil, 0, err
-	}
-	sols := make([]*mqo.Solution, 0, len(res.Samples))
-	for _, s := range res.Samples {
-		sol, err := enc.Decode(s.Assignment)
-		if err != nil {
-			return nil, 0, err
-		}
-		sols = append(sols, sol)
-	}
-	return sols, res.Sweeps, nil
+// subTimings carries the per-phase durations of one partial-problem solve.
+type subTimings struct {
+	anneal, decode time.Duration
 }
 
-// bestLocal returns the decoded sample with the lowest cost on the (DSS
-// adjusted) local problem. Because DSS folds every saving towards already
-// selected plans into the local costs, the adjusted local cost is exactly
-// the marginal cost w.r.t. the current total solution, implementing
-// BestIntSol of Algorithm 2.
-func bestLocal(sub *mqo.SubProblem, sols []*mqo.Solution) (*mqo.Solution, float64) {
+// solveEncoded solves one already-materialised encoding on the device and
+// returns the lowest-cost decoded solution. Because DSS folds every saving
+// towards already selected plans into the local costs, the best (adjusted)
+// local cost is exactly the marginal cost w.r.t. the current total solution,
+// implementing BestIntSol of Algorithm 2.
+func solveEncoded(ctx context.Context, dev solver.Solver, enc *encoding.MQOEncoding, runs, sweeps int, seed int64, parallelism int) (*mqo.Solution, int, subTimings, error) {
+	var st subTimings
+	if err := solver.CheckCapacity(dev, enc.Model); err != nil {
+		return nil, 0, st, err
+	}
+	t0 := time.Now()
+	res, err := dev.Solve(ctx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed, Parallelism: parallelism})
+	st.anneal = time.Since(t0)
+	if err != nil {
+		return nil, 0, st, err
+	}
+	t0 = time.Now()
+	best, _, err := bestDecoded(enc, res.Samples)
+	st.decode = time.Since(t0)
+	if err != nil {
+		return nil, 0, st, err
+	}
+	return best, res.Sweeps, st, nil
+}
+
+// bestDecoded scans the samples in order and returns the lowest-cost decoded
+// solution on enc.Problem (first strictly-better sample wins, exactly like
+// decoding every sample and comparing costs), materialising a Solution only
+// when a sample improves on the incumbent. Valid samples — the common case —
+// are costed directly from the selection bitset with the same float-operation
+// order as Solution.Cost; only constraint-violating samples go through the
+// repair path. All per-sample scratch is reused, so the loop is
+// allocation-free apart from the winning solutions.
+func bestDecoded(enc *encoding.MQOEncoding, samples []solver.Sample) (*mqo.Solution, float64, error) {
+	p := enc.Problem
+	n := p.NumPlans()
+	selected := make([]bool, n)
+	chosen := make([]bool, n)
+	cur := mqo.NewSolution(p)
 	var best *mqo.Solution
 	bestCost := 0.0
-	for _, s := range sols {
-		c := s.Cost(sub.Local)
+	for _, s := range samples {
+		if len(s.Assignment) != n {
+			return nil, 0, fmt.Errorf("core: sample has %d variables, problem has %d plans", len(s.Assignment), n)
+		}
+		for i, x := range s.Assignment {
+			selected[i] = x != 0
+		}
+		valid := true
+		var c float64
+		for q := 0; q < p.NumQueries(); q++ {
+			first, count := mqo.Unassigned, 0
+			for _, pl := range p.Plans(q) {
+				if selected[pl] {
+					if count == 0 {
+						first = pl
+					}
+					count++
+				}
+			}
+			if count != 1 {
+				valid = false
+				break
+			}
+			cur.Selected[q] = first
+			c += p.Cost(first)
+		}
+		if valid {
+			for _, sv := range p.Savings() {
+				if selected[sv.P1] && selected[sv.P2] {
+					c -= sv.Value
+				}
+			}
+		} else {
+			mqo.RepairInto(p, selected, cur, chosen)
+			c = cur.CostBuffered(p, selected)
+		}
 		if best == nil || c < bestCost {
-			best, bestCost = s, c
+			if best == nil {
+				best = cur.Clone()
+			} else {
+				copy(best.Selected, cur.Selected)
+			}
+			bestCost = c
 		}
 	}
-	return best, bestCost
+	return best, bestCost, nil
 }
 
 // finalize assembles an Outcome, validating the solution against p.

@@ -17,13 +17,18 @@ import (
 // device to implement solver.LargeSolver.
 func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, error) {
 	start := time.Now()
-	enc, err := encoding.EncodeMQO(p)
+	var tm PhaseTimings
+	encStart := time.Now()
+	pp, err := encoding.PrepareMQO(p)
 	if err != nil {
 		return nil, err
 	}
+	enc := pp.Encoding()
+	tm.Encode = time.Since(encStart)
 	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.TotalSweeps, Seed: opt.Seed, Parallelism: opt.Parallelism}
 	var res *solver.Result
 	capacity := opt.Device.Capacity()
+	annealStart := time.Now()
 	switch {
 	case capacity == 0 || enc.Model.NumVariables() <= capacity:
 		res, err = opt.Device.Solve(ctx, req)
@@ -34,19 +39,15 @@ func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, e
 		}
 		res, err = ls.SolveLarge(ctx, req)
 	}
+	tm.Anneal = time.Since(annealStart)
 	if err != nil {
 		return nil, err
 	}
-	var bestSol *mqo.Solution
-	bestCost := 0.0
-	for _, s := range res.Samples {
-		sol, err := enc.Decode(s.Assignment)
-		if err != nil {
-			return nil, err
-		}
-		if c := sol.Cost(p); bestSol == nil || c < bestCost {
-			bestSol, bestCost = sol, c
-		}
+	decStart := time.Now()
+	bestSol, _, err := bestDecoded(enc, res.Samples)
+	tm.Decode = time.Since(decStart)
+	if err != nil {
+		return nil, err
 	}
 	out, err := finalize(p, bestSol, "default", start)
 	if err != nil {
@@ -54,5 +55,6 @@ func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, e
 	}
 	out.NumPartitions = 1
 	out.Sweeps = res.Sweeps
+	out.Timings = tm
 	return out, nil
 }

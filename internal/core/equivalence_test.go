@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"incranneal/internal/da"
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/solver"
+	"incranneal/internal/workload"
+)
+
+// referenceIncremental is the pre-skeleton incremental loop: every partial
+// problem is re-encoded from scratch with EncodeMQO after each DSS pass and
+// every sample is decoded into a fresh Solution. It exists purely as the
+// behavioural reference the prepared-encoding pipeline must reproduce bit
+// for bit.
+func referenceIncremental(ctx context.Context, t *testing.T, p *mqo.Problem, subs []*mqo.SubProblem, opt Options) *mqo.Solution {
+	t.Helper()
+	ttl := mqo.NewSolution(p)
+	pending := make([][]mqo.Saving, len(subs))
+	for i, sub := range subs {
+		pending[i] = append([]mqo.Saving(nil), sub.Discarded...)
+	}
+	for i, sub := range subs {
+		enc, err := encoding.EncodeMQO(sub.Local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := opt.Device.Solve(ctx, solver.Request{
+			Model: enc.Model, Runs: opt.Runs, Sweeps: opt.partitionSweeps(len(subs), i),
+			Seed: opt.Seed + int64(1000+i), Parallelism: opt.Parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var best *mqo.Solution
+		bestCost := 0.0
+		for _, s := range res.Samples {
+			sol, err := enc.Decode(s.Assignment)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c := sol.Cost(sub.Local); best == nil || c < bestCost {
+				best, bestCost = sol, c
+			}
+		}
+		global, err := sub.ToGlobal(p, best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ttl.Merge(global); err != nil {
+			t.Fatal(err)
+		}
+		if i+1 < len(subs) && !opt.DisableDSS {
+			dss(ttl, subs[i+1:], pending[i+1:], make([]bool, len(subs)-i-1))
+		}
+	}
+	return ttl
+}
+
+// TestIncrementalPipelineMatchesReference pins the tentpole's equivalence
+// guarantee: the prepared-skeleton pipeline (up-front PrepareMQO, in-place
+// reweights, speculative encode/solve overlap, buffer-reusing decode) must
+// reproduce the from-scratch re-encoding loop exactly — same cost, same plan
+// selections — at every Parallelism setting.
+func TestIncrementalPipelineMatchesReference(t *testing.T) {
+	ctx := context.Background()
+	in, err := workload.GenerateSweep(workload.SweepConfig{
+		Queries: 48, PPQ: 3, Communities: 4,
+		DensityLow: 0.05, DensityHigh: 0.8, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := in.Problem
+	opt := Options{
+		Device:      &da.Solver{CapacityVars: 40},
+		Capacity:    40,
+		Runs:        4,
+		TotalSweeps: 1000,
+		Seed:        17,
+		Parallelism: -1,
+	}
+	part, err := opt.partitionProblem(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.SubProblems) < 2 {
+		t.Fatalf("instance not partitioned (%d sub-problems); equivalence test needs the incremental path", len(part.SubProblems))
+	}
+	ref := referenceIncremental(ctx, t, p, part.SubProblems, opt)
+	refCost := ref.Cost(p)
+	for _, par := range []int{-1, 1, 4} {
+		opt := opt
+		opt.Parallelism = par
+		// DSS consumed the reference partition's costs; re-partition fresh.
+		// Partitioning is deterministic, so the query sets are identical.
+		part, err := opt.partitionProblem(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := IncrementalOverSubProblems(ctx, p, part.SubProblems, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Cost != refCost {
+			t.Errorf("Parallelism=%d: cost %v, reference %v", par, out.Cost, refCost)
+		}
+		for q, pl := range out.Solution.Selected {
+			if pl != ref.Selected[q] {
+				t.Errorf("Parallelism=%d: query %d selects plan %d, reference %d", par, q, pl, ref.Selected[q])
+				break
+			}
+		}
+	}
+	// The full pipeline (partitioning included) must also be invariant
+	// across Parallelism settings.
+	var firstCost float64
+	for i, par := range []int{-1, 2, 0} {
+		opt := opt
+		opt.Parallelism = par
+		out, err := SolveIncremental(ctx, p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstCost = out.Cost
+		} else if out.Cost != firstCost {
+			t.Errorf("SolveIncremental at Parallelism=%d: cost %v, want %v", par, out.Cost, firstCost)
+		}
+	}
+}
+
+// TestSolveWholeMatchesFreshEncode checks the unpartitioned path: prepared
+// encodings and the buffer-reusing decode must give the same outcome as the
+// map-backed encode with per-sample decoding.
+func TestSolveWholeMatchesFreshEncode(t *testing.T) {
+	ctx := context.Background()
+	p := mqo.PaperExample()
+	opt := Options{Device: &da.Solver{CapacityVars: 64}, Runs: 8, TotalSweeps: 500, Seed: 3, Parallelism: -1}
+	out, err := SolveIncremental(ctx, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encoding.EncodeMQO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Device.Solve(ctx, solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.TotalSweeps, Seed: opt.Seed, Parallelism: opt.Parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best *mqo.Solution
+	bestCost := 0.0
+	for _, s := range res.Samples {
+		sol, err := enc.Decode(s.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := sol.Cost(p); best == nil || c < bestCost {
+			best, bestCost = sol, c
+		}
+	}
+	if out.Cost != bestCost {
+		t.Errorf("pipeline cost %v, fresh-encode reference %v", out.Cost, bestCost)
+	}
+	for q, pl := range out.Solution.Selected {
+		if pl != best.Selected[q] {
+			t.Errorf("query %d selects plan %d, reference %d", q, pl, best.Selected[q])
+			break
+		}
+	}
+}

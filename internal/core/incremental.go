@@ -2,9 +2,13 @@ package core
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"incranneal/internal/encoding"
 	"incranneal/internal/mqo"
+	"incranneal/internal/solver"
 )
 
 // SolveIncremental runs the paper's incremental optimisation with dynamic
@@ -21,15 +25,18 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 	if !opt.needsPartitioning(p) {
 		return solveWhole(ctx, p, opt, "incremental", start)
 	}
+	partStart := time.Now()
 	part, err := opt.partitionProblem(ctx, p)
 	if err != nil {
 		return nil, err
 	}
+	partElapsed := time.Since(partStart)
 	out, err := IncrementalOverSubProblems(ctx, p, part.SubProblems, opt)
 	if err != nil {
 		return nil, err
 	}
 	out.DiscardedSavings = part.DiscardedSavings
+	out.Timings.Partition = partElapsed
 	out.Elapsed = time.Since(start)
 	return out, nil
 }
@@ -39,26 +46,72 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 // optimisation phase of SolveIncremental, exposed for callers that control
 // partitioning themselves. The sub-problems' adjusted costs are consumed
 // (DSS mutates them); do not reuse sub across calls.
+//
+// Encoding work is organised around prepared skeletons: every sub-problem's
+// quadratic structure is prepared once, up front and in parallel on the
+// run-level worker pool, because DSS only ever mutates plan costs (linear
+// coefficients and, through the penalty A, the clique weights — never the
+// term structure). Inside the sequential loop, the next sub-problem's
+// encoding is materialised concurrently with the tail of the current device
+// solve and patched afterwards only if that DSS pass actually touched its
+// costs. Results are bit-identical to re-encoding every sub-problem from
+// scratch after each DSS pass.
 func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, opt Options) (*Outcome, error) {
 	start := time.Now()
-	perSub := opt.perPartitionSweeps(len(subs))
 	ttlSol := mqo.NewSolution(p)
 	sweeps := 0
 	var reapplied float64
+	var tm PhaseTimings
 	// pending[i] tracks the not-yet-applied discarded savings of subs[i];
 	// DSS consumes a saving when it adjusts a plan cost, so the repeated
-	// passes of Algorithm 3 never double-apply it.
+	// passes of Algorithm 3 never double-apply it. dirty[i] is set whenever a
+	// pass adjusts any cost of subs[i], invalidating a speculatively
+	// materialised encoding.
 	pending := make([][]mqo.Saving, len(subs))
+	dirty := make([]bool, len(subs))
 	for i, sub := range subs {
 		pending[i] = append([]mqo.Saving(nil), sub.Discarded...)
 	}
+	encStart := time.Now()
+	preps := make([]*encoding.PreparedMQO, len(subs))
+	prepErrs := make([]error, len(subs))
+	solver.ForEachRun(len(subs), parallelism(opt), func(i int) {
+		preps[i], prepErrs[i] = encoding.PrepareMQO(subs[i].Local)
+	})
+	for _, err := range prepErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	enc := preps[0].Encoding()
+	tm.Encode += time.Since(encStart)
+	// Overlapped encode time is accumulated separately: the goroutine runs
+	// while the device anneals, so it adds phase work without wall-clock.
+	var overlapEncNanos int64
 	for i, sub := range subs {
-		sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, perSub, opt.Seed+int64(1000+i), opt.Parallelism)
+		// Materialise the next encoding while the device works on this one.
+		// Its costs are only touched by the dss call below, after the join.
+		var specWG sync.WaitGroup
+		var specEnc *encoding.MQOEncoding
+		if i+1 < len(subs) {
+			dirty[i+1] = false // the materialisation below reflects current costs
+			specWG.Add(1)
+			go func(pp *encoding.PreparedMQO) {
+				defer specWG.Done()
+				t0 := time.Now()
+				specEnc = pp.Encoding()
+				atomic.AddInt64(&overlapEncNanos, int64(time.Since(t0)))
+			}(preps[i+1])
+		}
+		best, performed, st, err := solveEncoded(ctx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), opt.Parallelism)
+		specWG.Wait()
 		if err != nil {
 			return nil, err
 		}
 		sweeps += performed
-		best, _ := bestLocal(sub, sols)
+		tm.Anneal += st.anneal
+		tm.Decode += st.decode
+		decStart := time.Now()
 		global, err := sub.ToGlobal(p, best)
 		if err != nil {
 			return nil, err
@@ -66,10 +119,24 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 		if err := ttlSol.Merge(global); err != nil {
 			return nil, err
 		}
-		if i+1 < len(subs) && !opt.DisableDSS {
-			reapplied += dss(ttlSol, subs[i+1:], pending[i+1:])
+		tm.Decode += time.Since(decStart)
+		if i+1 < len(subs) {
+			enc = specEnc
+			if !opt.DisableDSS {
+				reapplied += dss(ttlSol, subs[i+1:], pending[i+1:], dirty[i+1:])
+			}
+			if dirty[i+1] {
+				// The pass adjusted the next sub-problem's costs after its
+				// encoding was speculatively materialised: patch it with one
+				// allocation-free reweight pass over the prepared skeleton.
+				t0 := time.Now()
+				enc = preps[i+1].Encoding()
+				tm.Encode += time.Since(t0)
+				dirty[i+1] = false
+			}
 		}
 	}
+	tm.Encode += time.Duration(atomic.LoadInt64(&overlapEncNanos))
 	out, err := finalize(p, ttlSol, "incremental", start)
 	if err != nil {
 		return nil, err
@@ -77,6 +144,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	out.NumPartitions = len(subs)
 	out.ReappliedSavings = reapplied
 	out.Sweeps = sweeps
+	out.Timings = tm
 	return out, nil
 }
 
@@ -84,8 +152,9 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 // every pending discarded saving, when one endpoint has been selected into
 // the intermediate solution and the other endpoint is a plan of the
 // unsolved problem, that plan's cost is reduced by the saving's value. The
-// saving is then consumed. Returns the re-applied magnitude.
-func dss(intSol *mqo.Solution, remaining []*mqo.SubProblem, pending [][]mqo.Saving) float64 {
+// saving is then consumed and the sub-problem flagged dirty so cached
+// encodings know to re-materialise. Returns the re-applied magnitude.
+func dss(intSol *mqo.Solution, remaining []*mqo.SubProblem, pending [][]mqo.Saving, dirty []bool) float64 {
 	selected := make(map[int]bool, len(intSol.Selected))
 	for _, pl := range intSol.Selected {
 		if pl != mqo.Unassigned {
@@ -105,6 +174,7 @@ func dss(intSol *mqo.Solution, remaining []*mqo.SubProblem, pending [][]mqo.Savi
 			if plan >= 0 && selected[selPlan] {
 				sub.AdjustCost(plan, s.Value)
 				reapplied += s.Value
+				dirty[i] = true
 				continue
 			}
 			kept = append(kept, s)
@@ -120,21 +190,33 @@ func solveWhole(ctx context.Context, p *mqo.Problem, opt Options, strategy strin
 	if err != nil {
 		return nil, err
 	}
-	sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, opt.perPartitionSweeps(1), opt.Seed, opt.Parallelism)
+	var tm PhaseTimings
+	encStart := time.Now()
+	pp, err := encoding.PrepareMQO(sub.Local)
 	if err != nil {
 		return nil, err
 	}
-	best, _ := bestLocal(sub, sols)
+	enc := pp.Encoding()
+	tm.Encode = time.Since(encStart)
+	best, performed, st, err := solveEncoded(ctx, opt.Device, enc, opt.Runs, opt.partitionSweeps(1, 0), opt.Seed, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	tm.Anneal = st.anneal
+	tm.Decode = st.decode
+	decStart := time.Now()
 	global, err := sub.ToGlobal(p, best)
 	if err != nil {
 		return nil, err
 	}
+	tm.Decode += time.Since(decStart)
 	out, err := finalize(p, global, strategy, start)
 	if err != nil {
 		return nil, err
 	}
 	out.NumPartitions = 1
 	out.Sweeps = performed
+	out.Timings = tm
 	return out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"incranneal/internal/encoding"
 	"incranneal/internal/mqo"
 )
 
@@ -19,12 +20,14 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 	if !opt.needsPartitioning(p) {
 		return solveWhole(ctx, p, opt, "parallel", start)
 	}
+	partStart := time.Now()
 	part, err := opt.partitionProblem(ctx, p)
 	if err != nil {
 		return nil, err
 	}
+	var tm PhaseTimings
+	tm.Partition = time.Since(partStart)
 	subs := part.SubProblems
-	perSub := opt.perPartitionSweeps(len(subs))
 	globals := make([]*mqo.Solution, len(subs))
 	sweepCounts := make([]int, len(subs))
 	// The worker budget splits across the two levels: partitions run
@@ -41,18 +44,29 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 	for i, sub := range subs {
 		i, sub := i, sub
 		fns[i] = func() error {
-			sols, performed, err := solveSub(ctx, opt.Device, sub, opt.Runs, perSub, opt.Seed+int64(1000+i), perSolve)
+			encStart := time.Now()
+			pp, err := encoding.PrepareMQO(sub.Local)
 			if err != nil {
 				return err
 			}
-			best, _ := bestLocal(sub, sols)
+			enc := pp.Encoding()
+			encDur := time.Since(encStart)
+			best, performed, st, err := solveEncoded(ctx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), perSolve)
+			if err != nil {
+				return err
+			}
+			decStart := time.Now()
 			global, err := sub.ToGlobal(p, best)
 			if err != nil {
 				return err
 			}
+			decDur := time.Since(decStart)
 			mu.Lock()
 			globals[i] = global
 			sweepCounts[i] = performed
+			tm.Encode += encDur
+			tm.Anneal += st.anneal
+			tm.Decode += st.decode + decDur
 			mu.Unlock()
 			return nil
 		}
@@ -62,12 +76,14 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 	}
 	ttlSol := mqo.NewSolution(p)
 	sweeps := 0
+	mergeStart := time.Now()
 	for i, g := range globals {
 		if err := ttlSol.Merge(g); err != nil {
 			return nil, err
 		}
 		sweeps += sweepCounts[i]
 	}
+	tm.Decode += time.Since(mergeStart)
 	out, err := finalize(p, ttlSol, "parallel", start)
 	if err != nil {
 		return nil, err
@@ -75,5 +91,6 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 	out.NumPartitions = len(subs)
 	out.DiscardedSavings = part.DiscardedSavings
 	out.Sweeps = sweeps
+	out.Timings = tm
 	return out, nil
 }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"incranneal/internal/da"
+	"incranneal/internal/workload"
+)
+
+// BenchmarkIncrementalPipeline measures the end-to-end incremental solve
+// (partitioning, encoding, annealing, DSS, decoding) on a 384-variable
+// community instance split across four DA partitions — the macro benchmark
+// behind BENCH_encoding.json.
+func BenchmarkIncrementalPipeline(b *testing.B) {
+	in, err := workload.GenerateSweep(workload.SweepConfig{
+		Queries: 96, PPQ: 4, Communities: 4,
+		DensityLow: 0.05, DensityHigh: 0.6, Seed: 99,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{
+		Device:      &da.Solver{CapacityVars: 96},
+		Capacity:    96,
+		Runs:        4,
+		TotalSweeps: 4000,
+		Seed:        7,
+		Parallelism: -1,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveIncremental(ctx, in.Problem, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -178,16 +178,45 @@ func TestBoundedGroupLimitsAndPropagatesErrors(t *testing.T) {
 	}
 }
 
-func TestPerPartitionSweepsDivision(t *testing.T) {
+func TestPartitionSweepsDistribution(t *testing.T) {
 	o := Options{TotalSweeps: 100}
-	if got := o.perPartitionSweeps(4); got != 25 {
-		t.Errorf("perPartitionSweeps(4) = %d, want 25", got)
+	for i := 0; i < 4; i++ {
+		if got := o.partitionSweeps(4, i); got != 25 {
+			t.Errorf("partitionSweeps(4, %d) = %d, want 25", i, got)
+		}
 	}
-	if got := o.perPartitionSweeps(1000); got != 1 {
-		t.Errorf("perPartitionSweeps floors at 1, got %d", got)
+	// 103 = 4·25 + 3: the remainder lands one sweep each on the first three
+	// partitions, never silently dropped.
+	o.TotalSweeps = 103
+	want := []int{26, 26, 26, 25}
+	for i, w := range want {
+		if got := o.partitionSweeps(4, i); got != w {
+			t.Errorf("partitionSweeps(4, %d) = %d, want %d", i, got, w)
+		}
+	}
+	// The per-partition budgets must sum exactly to TotalSweeps whenever
+	// TotalSweeps ≥ n (below that the per-partition floor of 1 dominates).
+	for _, total := range []int{1, 2, 3, 4, 5, 7, 97, 100, 103, 4000} {
+		for _, n := range []int{1, 2, 3, 4, 5, 8, 13} {
+			o.TotalSweeps = total
+			sum := 0
+			for i := 0; i < n; i++ {
+				sum += o.partitionSweeps(n, i)
+			}
+			if total >= n && sum != total {
+				t.Errorf("TotalSweeps=%d over %d partitions sums to %d", total, n, sum)
+			}
+			if total < n && sum != n {
+				t.Errorf("TotalSweeps=%d under %d partitions: floor of 1 each, got sum %d", total, n, sum)
+			}
+		}
+	}
+	o.TotalSweeps = 100
+	if got := o.partitionSweeps(1000, 999); got != 1 {
+		t.Errorf("partitionSweeps floors at 1, got %d", got)
 	}
 	o.TotalSweeps = 0
-	if got := o.perPartitionSweeps(4); got != 0 {
+	if got := o.partitionSweeps(4, 0); got != 0 {
 		t.Errorf("zero budget must stay device-default, got %d", got)
 	}
 }

@@ -109,6 +109,22 @@ func (e *MQOEncoding) Decode(assignment []int8) (*mqo.Solution, error) {
 	return mqo.Repair(e.Problem, selected), nil
 }
 
+// DecodeInto is Decode reusing caller-provided buffers: selected and chosen
+// must each hold at least NumPlans entries (both are overwritten) and into
+// must cover the problem's queries. The hot per-sample decode loop of the
+// pipeline allocates nothing through this path.
+func (e *MQOEncoding) DecodeInto(assignment []int8, selected, chosen []bool, into *mqo.Solution) error {
+	if len(assignment) != e.Problem.NumPlans() {
+		return fmt.Errorf("encoding: sample has %d variables, problem has %d plans", len(assignment), e.Problem.NumPlans())
+	}
+	selected = selected[:len(assignment)]
+	for i, x := range assignment {
+		selected[i] = x != 0
+	}
+	mqo.RepairInto(e.Problem, selected, into, chosen)
+	return nil
+}
+
 // IsValidSample reports whether a raw sample already selects exactly one
 // plan per query, i.e. whether Decode's repair step is a no-op.
 func (e *MQOEncoding) IsValidSample(assignment []int8) bool {

@@ -68,8 +68,66 @@ func EncodePartitionScaled(nodeWeights []float64, edges []WeightedEdge, lagrange
 		return nil, fmt.Errorf("encoding: lagrange scale must be positive, got %v", lagrangeScale)
 	}
 	lagrange := lagrangeScale * LagrangeMultiplier(n, edges)
+	// The balance term couples *every* spin pair, so the coupling matrix is
+	// dense: accumulate it in a flat upper-triangular array and emit the
+	// QUBO terms directly in CSR order, instead of round-tripping through
+	// the map-backed Ising builder plus a sort at every recursion level of
+	// the partitioning phase. The float operations replicate the builder
+	// path exactly — balance couplings first, then the edge couplings in
+	// slice order, then the s = 2x − 1 substitution over pairs in row-major
+	// (= sorted-key) order — so the resulting model is bit-identical
+	// (pinned by TestEncodePartitionCSRMatchesBuilder).
+	coup := make([]float64, n*(n-1)/2)
+	idx := func(i, j int) int { // i < j
+		return i*(2*n-i-1)/2 + (j - i - 1)
+	}
+	// ω_A·H_A = ω_A·(Σ ω_i s_i)² = ω_A·Σ ω_i² + 2ω_A·Σ_{i<j} ω_i ω_j s_i s_j
+	// (the constant shifts no minimum and is dropped).
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			coup[k] = 2 * lagrange * nodeWeights[i] * nodeWeights[j]
+			k++
+		}
+	}
+	// H_B = Σ ω_e/2 − Σ (ω_e/2)·s_u·s_v.
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		coup[idx(u, v)] += -e.Weight / 2
+	}
+	// Substitute s = 2x − 1: J·s_i·s_j = 4J·x_i·x_j − 2J·x_i − 2J·x_j + J.
+	linear := make([]float64, n)
+	terms := make([]qubo.Term, 0, len(coup))
+	k = 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := coup[k]
+			k++
+			linear[i] += -2 * c
+			linear[j] += -2 * c
+			if qc := 4 * c; qc != 0 {
+				terms = append(terms, qubo.Term{I: i, J: j, Coeff: qc})
+			}
+		}
+	}
+	return &PartitionEncoding{
+		Model:       qubo.NewModelFromSortedTerms(linear, terms),
+		NodeWeights: append([]float64(nil), nodeWeights...),
+		Edges:       append([]WeightedEdge(nil), edges...),
+		LagrangeA:   lagrange,
+	}, nil
+}
+
+// encodePartitionScaledBuilder is the original map-backed Ising/Builder
+// construction, kept as the reference implementation the CSR fast path is
+// tested against bit for bit.
+func encodePartitionScaledBuilder(nodeWeights []float64, edges []WeightedEdge, lagrangeScale float64) *PartitionEncoding {
+	n := len(nodeWeights)
+	lagrange := lagrangeScale * LagrangeMultiplier(n, edges)
 	is := qubo.NewIsing(n)
-	// ω_A·H_A = ω_A·(Σ ω_i s_i)² = ω_A·Σ ω_i² + 2ω_A·Σ_{i<j} ω_i ω_j s_i s_j.
 	var sqSum float64
 	for _, w := range nodeWeights {
 		sqSum += w * w
@@ -80,7 +138,6 @@ func EncodePartitionScaled(nodeWeights []float64, edges []WeightedEdge, lagrange
 			is.AddCoupling(i, j, 2*lagrange*nodeWeights[i]*nodeWeights[j])
 		}
 	}
-	// H_B = Σ ω_e/2 − Σ (ω_e/2)·s_u·s_v.
 	for _, e := range edges {
 		is.AddConstant(e.Weight / 2)
 		is.AddCoupling(e.U, e.V, -e.Weight/2)
@@ -90,7 +147,7 @@ func EncodePartitionScaled(nodeWeights []float64, edges []WeightedEdge, lagrange
 		NodeWeights: append([]float64(nil), nodeWeights...),
 		Edges:       append([]WeightedEdge(nil), edges...),
 		LagrangeA:   lagrange,
-	}, nil
+	}
 }
 
 // LagrangeMultiplier returns ω_A = max_{q_i} Σ_{q_j≠q_i} ω_ij — the largest

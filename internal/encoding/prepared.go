@@ -1,0 +1,164 @@
+package encoding
+
+import (
+	"math"
+
+	"incranneal/internal/mqo"
+	"incranneal/internal/qubo"
+)
+
+// PreparedMQO is the structural skeleton of a problem's Trummer–Koch QUBO,
+// built once per partial problem and re-materialised cheaply as dynamic
+// search steering (Algorithm 3) mutates plan costs between partial solves.
+//
+// The key observation is that DSS only ever changes *linear* plan-cost
+// coefficients and — through SufficientPenalty — the one-hot penalty A; the
+// quadratic structure (one-hot cliques and savings terms) is invariant
+// across the whole incremental phase. The skeleton therefore stores every
+// quadratic coefficient as the pair (const, coeffOfA), so the model for any
+// penalty A and any adjusted cost vector materialises in one
+// O(variables + terms) pass: no map, no sort, and after the first
+// materialisation no allocation (the qubo.Model buffer is rewritten in
+// place via Model.Reweight).
+//
+// Materialised coefficients are bit-identical to a fresh EncodeMQO of the
+// same (adjusted) problem — the float operations are performed in the same
+// order — which keeps the whole pipeline's results independent of whether
+// encodings are rebuilt or reweighted (pinned by TestPrepareMQOMatchesFresh
+// and FuzzPrepareMQOReweight).
+type PreparedMQO struct {
+	// Problem is the encoded problem; its live (possibly DSS-adjusted)
+	// costs are read at every materialisation.
+	Problem *mqo.Problem
+	// incident[pl] is the accumulated saving value incident to plan pl,
+	// summed in the same order as SufficientPenalty so the derived penalty
+	// matches bit for bit. Savings never change, so this is prepared once.
+	incident []float64
+	// Skeleton term structure in CSR order (I < J, lexicographic); the
+	// coefficient of term t is termConst[t] + termCoeffA[t]·A. One-hot
+	// clique terms are (0, 2); savings terms are (−value, 0). Zero-valued
+	// savings are omitted, matching Builder.Build's zero-term drop.
+	terms     []qubo.Term
+	termConst []float64
+	termCoefA []float64
+	// Materialisation buffers, allocated on first Encoding call and
+	// rewritten in place afterwards.
+	enc    *MQOEncoding
+	linear []float64
+	coeffs []float64
+}
+
+// PrepareMQO builds the immutable encoding skeleton of p. The structure
+// depends only on the query/plan layout and the savings pairs, both of which
+// DSS never touches, so one skeleton serves every re-encoding of a partial
+// problem across the incremental phase.
+func PrepareMQO(p *mqo.Problem) (*PreparedMQO, error) {
+	if p.NumQueries() == 0 {
+		return nil, mqo.ErrEmptyProblem
+	}
+	n := p.NumPlans()
+	pp := &PreparedMQO{Problem: p, incident: make([]float64, n)}
+	savings := p.Savings()
+	for _, s := range savings {
+		pp.incident[s.P1] += s.Value
+		pp.incident[s.P2] += s.Value
+	}
+	nTerms := 0
+	for q := 0; q < p.NumQueries(); q++ {
+		k := len(p.Plans(q))
+		nTerms += k * (k - 1) / 2
+	}
+	for _, s := range savings {
+		if s.Value != 0 {
+			nTerms++
+		}
+	}
+	pp.terms = make([]qubo.Term, 0, nTerms)
+	pp.termConst = make([]float64, 0, nTerms)
+	pp.termCoefA = make([]float64, 0, nTerms)
+	// Emit directly in CSR order. Each query's plans are contiguous, so row
+	// i first holds the one-hot clique partners (i, i+1..qEnd) and then the
+	// savings partners, whose indices all belong to other queries' blocks
+	// and therefore exceed qEnd; the globally sorted savings list yields
+	// them in ascending order per row.
+	si := 0
+	for i := 0; i < n; i++ {
+		plans := p.Plans(p.QueryOf(i))
+		qEnd := plans[len(plans)-1] + 1
+		for j := i + 1; j < qEnd; j++ {
+			pp.terms = append(pp.terms, qubo.Term{I: i, J: j})
+			pp.termConst = append(pp.termConst, 0)
+			pp.termCoefA = append(pp.termCoefA, 2)
+		}
+		for ; si < len(savings) && savings[si].P1 == i; si++ {
+			if savings[si].Value == 0 {
+				continue
+			}
+			pp.terms = append(pp.terms, qubo.Term{I: i, J: savings[si].P2})
+			pp.termConst = append(pp.termConst, -savings[si].Value)
+			pp.termCoefA = append(pp.termCoefA, 0)
+		}
+	}
+	return pp, nil
+}
+
+// Penalty derives the one-hot penalty A from the problem's current costs,
+// bit-identical to SufficientPenalty (the incident-savings sums are
+// prepared in the same accumulation order).
+func (pp *PreparedMQO) Penalty() float64 {
+	var bound float64
+	for pl := 0; pl < pp.Problem.NumPlans(); pl++ {
+		c := pp.Problem.Cost(pl)
+		bound = math.Max(bound, pp.incident[pl]-c)
+		bound = math.Max(bound, c)
+	}
+	return bound + 1
+}
+
+// NumTerms returns the number of quadratic terms in the skeleton.
+func (pp *PreparedMQO) NumTerms() int { return len(pp.terms) }
+
+// Encoding materialises the QUBO for the problem's current plan costs and
+// the penalty they imply. The first call allocates the model; every later
+// call rewrites the same buffers in place and returns the same *MQOEncoding,
+// so callers must not hand the previous materialisation to a still-running
+// solver. Coefficients equal a fresh EncodeMQO of the same problem state
+// exactly.
+func (pp *PreparedMQO) Encoding() *MQOEncoding {
+	a := pp.Penalty()
+	if pp.enc == nil {
+		pp.linear = make([]float64, pp.Problem.NumPlans())
+		pp.coeffs = make([]float64, len(pp.terms))
+		pp.fill(a)
+		terms := make([]qubo.Term, len(pp.terms))
+		copy(terms, pp.terms)
+		for t := range terms {
+			terms[t].Coeff = pp.coeffs[t]
+		}
+		linear := make([]float64, len(pp.linear))
+		copy(linear, pp.linear)
+		pp.enc = &MQOEncoding{
+			Problem: pp.Problem,
+			Model:   qubo.NewModelFromSortedTerms(linear, terms),
+			Penalty: a,
+		}
+		return pp.enc
+	}
+	pp.fill(a)
+	pp.enc.Model.Reweight(pp.linear, pp.coeffs)
+	pp.enc.Penalty = a
+	return pp.enc
+}
+
+// fill computes all coefficients for penalty a into the scratch buffers.
+// Linear terms replicate EncodeMQO's accumulation (−A from the one-hot
+// expansion, then the plan cost) and quadratic terms evaluate
+// const + coeffOfA·A; both reproduce the Builder path's floats exactly.
+func (pp *PreparedMQO) fill(a float64) {
+	for pl := range pp.linear {
+		pp.linear[pl] = -a + pp.Problem.Cost(pl)
+	}
+	for t := range pp.coeffs {
+		pp.coeffs[t] = pp.termConst[t] + pp.termCoefA[t]*a
+	}
+}

@@ -111,7 +111,18 @@ func (s *Solution) Validate(p *Problem) error {
 // contribute nothing, so Cost on a partial solution is the cost of the
 // partial plan set.
 func (s *Solution) Cost(p *Problem) float64 {
-	selected := make([]bool, p.NumPlans())
+	return s.CostBuffered(p, make([]bool, p.NumPlans()))
+}
+
+// CostBuffered is Cost with a caller-provided plan-selection scratch buffer
+// (len ≥ NumPlans; it is cleared first), for hot decode loops that evaluate
+// many candidate solutions. The float accumulation order matches Cost
+// exactly.
+func (s *Solution) CostBuffered(p *Problem, selected []bool) float64 {
+	selected = selected[:p.NumPlans()]
+	for i := range selected {
+		selected[i] = false
+	}
 	var total float64
 	for _, pl := range s.Selected {
 		if pl == Unassigned {
@@ -176,10 +187,25 @@ func GreedySolution(p *Problem) *Solution {
 // query's plans the same way.
 func Repair(p *Problem, selected []bool) *Solution {
 	s := NewSolution(p)
-	chosen := make([]bool, p.NumPlans())
+	RepairInto(p, selected, s, make([]bool, p.NumPlans()))
+	return s
+}
+
+// RepairInto is Repair writing into a caller-provided Solution and reusing a
+// chosen-plan scratch buffer (len ≥ NumPlans; it is cleared first), so the
+// per-sample decode loop allocates nothing. into must cover p's queries.
+func RepairInto(p *Problem, selected []bool, into *Solution, chosen []bool) {
+	chosen = chosen[:p.NumPlans()]
+	for i := range chosen {
+		chosen[i] = false
+	}
 	marginal := func(pl int) float64 {
 		cost := p.Cost(pl)
-		for _, sv := range p.SavingsOf(pl) {
+		// Walk the savings incident to pl through the index adjacency
+		// directly — same order as SavingsOf, without materialising the
+		// slice.
+		for _, si := range p.adj[pl] {
+			sv := p.savings[si]
 			other := sv.P1
 			if other == pl {
 				other = sv.P2
@@ -198,25 +224,37 @@ func Repair(p *Problem, selected []bool) *Solution {
 				best, bestCost = pl, c
 			}
 		}
-		s.Selected[q] = best
+		into.Selected[q] = best
 		chosen[best] = true
 	}
 	for q := 0; q < p.NumQueries(); q++ {
-		var cand []int
-		for _, pl := range p.Plans(q) {
+		plans := p.Plans(q)
+		// Single-selected queries (the common, valid case) shortcut the
+		// marginal computation without building a candidate list; the
+		// multi-selected repair path scans the query's plan range in place.
+		first, count := Unassigned, 0
+		for _, pl := range plans {
 			if pl < len(selected) && selected[pl] {
-				cand = append(cand, pl)
+				if count == 0 {
+					first = pl
+				}
+				count++
 			}
 		}
-		switch len(cand) {
+		switch count {
 		case 1:
-			s.Selected[q] = cand[0]
-			chosen[cand[0]] = true
+			into.Selected[q] = first
+			chosen[first] = true
 		case 0:
-			pick(q, p.Plans(q))
+			pick(q, plans)
 		default:
+			cand := make([]int, 0, count)
+			for _, pl := range plans {
+				if pl < len(selected) && selected[pl] {
+					cand = append(cand, pl)
+				}
+			}
 			pick(q, cand)
 		}
 	}
-	return s
 }

@@ -120,12 +120,18 @@ func Partition(ctx context.Context, p *mqo.Problem, opt Options) (*Result, error
 	sort.SliceStable(res.QuerySets, func(i, j int) bool {
 		return g.PlanWeight(res.QuerySets[i]) > g.PlanWeight(res.QuerySets[j])
 	})
-	for _, qs := range res.QuerySets {
-		sp, err := mqo.Extract(p, qs)
+	// Extracting partial problems is independent per query set; fan the
+	// extractions out over the run-level worker pool. Results are addressed
+	// by index, so the outcome is identical at any parallelism.
+	res.SubProblems = make([]*mqo.SubProblem, len(res.QuerySets))
+	extractErrs := make([]error, len(res.QuerySets))
+	solver.ForEachRun(len(res.QuerySets), solver.Workers(opt.Parallelism), func(i int) {
+		res.SubProblems[i], extractErrs[i] = mqo.Extract(p, res.QuerySets[i])
+	})
+	for _, err := range extractErrs {
 		if err != nil {
 			return nil, err
 		}
-		res.SubProblems = append(res.SubProblems, sp)
 	}
 	// Sum each crossing saving once: every discarded saving appears in
 	// exactly two sub-problems' Discarded lists.

@@ -24,7 +24,12 @@ type Term struct {
 	Coeff float64
 }
 
-// Model is an immutable sparse QUBO instance. Construct it with a Builder.
+// Model is a sparse QUBO instance. Construct it with a Builder (which
+// accumulates arbitrary additions through a map) or, when the caller already
+// knows the sorted term structure, with NewModelFromSortedTerms. Models are
+// structurally immutable; Reweight overwrites coefficients in place for
+// prepared encodings that re-materialise the same structure with new
+// weights.
 type Model struct {
 	n      int
 	linear []float64
@@ -33,6 +38,10 @@ type Model struct {
 	// adj[i] lists (neighbour, coefficient) pairs for variable i, covering
 	// every quadratic term incident to i.
 	adj [][]neighbour
+	// adjPos[2t] and adjPos[2t+1] locate term t inside adj[terms[t].I] and
+	// adj[terms[t].J]; built lazily by Reweight so coefficient updates need
+	// no per-call scratch.
+	adjPos []int32
 }
 
 type neighbour struct {
@@ -112,6 +121,78 @@ func (b *Builder) Build() *Model {
 		m.adj[t.J] = append(m.adj[t.J], neighbour{j: t.I, coeff: t.Coeff})
 	}
 	return m
+}
+
+// NewModelFromSortedTerms builds a Model directly from a linear coefficient
+// vector and a quadratic term list that is already in CSR order: every term
+// has I < J and the (I, J) pairs are strictly lexicographically increasing.
+// It is the map- and sort-free construction path used by prepared encodings
+// whose term structure is known up front; the result is identical to feeding
+// the same coefficients through a Builder (Build drops exact-zero quadratic
+// terms, so callers must not pass them). The model takes ownership of both
+// slices.
+func NewModelFromSortedTerms(linear []float64, terms []Term) *Model {
+	n := len(linear)
+	degree := make([]int32, n)
+	prevI, prevJ := -1, -1
+	for _, t := range terms {
+		if t.I < 0 || t.J >= n || t.I >= t.J {
+			panic(fmt.Sprintf("qubo: term (%d,%d) invalid for %d variables", t.I, t.J, n))
+		}
+		if t.I < prevI || (t.I == prevI && t.J <= prevJ) {
+			panic(fmt.Sprintf("qubo: term (%d,%d) out of CSR order after (%d,%d)", t.I, t.J, prevI, prevJ))
+		}
+		prevI, prevJ = t.I, t.J
+		degree[t.I]++
+		degree[t.J]++
+	}
+	m := &Model{n: n, linear: linear, terms: terms, adj: make([][]neighbour, n)}
+	for i, d := range degree {
+		if d > 0 {
+			m.adj[i] = make([]neighbour, 0, d)
+		}
+	}
+	for _, t := range terms {
+		m.adj[t.I] = append(m.adj[t.I], neighbour{j: t.J, coeff: t.Coeff})
+		m.adj[t.J] = append(m.adj[t.J], neighbour{j: t.I, coeff: t.Coeff})
+	}
+	return m
+}
+
+// Reweight overwrites every coefficient of the model in place, keeping the
+// quadratic structure (variable count, term pairs, adjacency) fixed: linear
+// must hold NumVariables values and coeffs one value per quadratic term,
+// aligned with Terms(). Unlike Builder.Build, zero coefficients are kept —
+// the structure is the contract. The caller must ensure no solver is
+// concurrently reading the model.
+func (m *Model) Reweight(linear []float64, coeffs []float64) {
+	if len(linear) != m.n || len(coeffs) != len(m.terms) {
+		panic(fmt.Sprintf("qubo: Reweight with %d linears / %d coeffs, model has %d / %d", len(linear), len(coeffs), m.n, len(m.terms)))
+	}
+	copy(m.linear, linear)
+	if m.adjPos == nil {
+		m.buildAdjPos()
+	}
+	for t := range m.terms {
+		c := coeffs[t]
+		m.terms[t].Coeff = c
+		m.adj[m.terms[t].I][m.adjPos[2*t]].coeff = c
+		m.adj[m.terms[t].J][m.adjPos[2*t+1]].coeff = c
+	}
+}
+
+// buildAdjPos records, once, where each term sits inside its endpoints'
+// adjacency lists. Adjacency entries are appended in term order, so a single
+// cursor pass reproduces the positions.
+func (m *Model) buildAdjPos() {
+	m.adjPos = make([]int32, 2*len(m.terms))
+	cursor := make([]int32, m.n)
+	for t, term := range m.terms {
+		m.adjPos[2*t] = cursor[term.I]
+		cursor[term.I]++
+		m.adjPos[2*t+1] = cursor[term.J]
+		cursor[term.J]++
+	}
 }
 
 // NumVariables returns the number of binary variables.
