@@ -8,6 +8,16 @@
 //	mqobench -fig 3 -scale paper  # Fig. 3 at the paper's full dimensions
 //	mqobench -fig ablation        # the ablation studies
 //	mqobench -csv -out results/   # CSV files, one per figure
+//	mqobench -fig convergence -trace run.jsonl -metrics
+//
+// Observability:
+//
+//	-trace out.jsonl   record pipeline trace events (JSONL, one per line)
+//	-metrics           print a metrics summary table on exit
+//	-pprof :6060       serve net/http/pprof and expvar on this address
+//
+// SIGINT flushes the partial trace before exiting, so interrupted long runs
+// keep everything recorded so far.
 package main
 
 import (
@@ -15,21 +25,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"incranneal/internal/bench"
+	"incranneal/internal/obs"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, ablation or all")
-		scale   = flag.String("scale", "reduced", "experiment scale: smoke, reduced or paper")
-		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
-		outDir  = flag.String("out", "", "write per-figure files to this directory instead of stdout")
-		timeout = flag.Duration("timeout", 0, "per-algorithm run budget for the runtime figure (0 = 3m)")
-		workers = flag.Int("parallelism", 0, "worker goroutines per solve (0 = all cores, results identical for any value)")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, convergence, ablation or all")
+		scale     = flag.String("scale", "reduced", "experiment scale: smoke, reduced or paper")
+		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
+		outDir    = flag.String("out", "", "write per-figure files to this directory instead of stdout")
+		timeout   = flag.Duration("timeout", 0, "per-algorithm run budget for the runtime figure (0 = 3m)")
+		workers   = flag.Int("parallelism", 0, "worker goroutines per solve (0 = all cores, results identical for any value)")
+		trace     = flag.String("trace", "", "write a JSONL pipeline trace to this file")
+		metrics   = flag.Bool("metrics", false, "print a metrics summary on exit")
+		pprofAddr = flag.String("pprof", "", "serve pprof/expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -42,7 +58,17 @@ func main() {
 		cfg.TimeBudget = *timeout
 	}
 	cfg.Parallelism = *workers
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sink, flush, err := obs.SetupCLI("mqobench", *trace, *metrics, *pprofAddr)
+	if err != nil {
+		fail(err)
+	}
+	defer flush()
+	if sink.Enabled() {
+		ctx = obs.NewContext(ctx, sink)
+	}
 
 	type job struct {
 		name string
@@ -57,6 +83,7 @@ func main() {
 		{"7", func() (*bench.Report, error) { return bench.Fig7(ctx, cfg, sc) }},
 		{"devices", func() (*bench.Report, error) { return bench.DeviceShootout(ctx, cfg, sc) }},
 		{"phases", func() (*bench.Report, error) { return bench.PhaseReport(ctx, cfg, sc) }},
+		{"convergence", func() (*bench.Report, error) { return bench.Convergence(ctx, cfg, sc) }},
 		{"ablation", func() (*bench.Report, error) { return nil, nil }}, // expanded below
 	}
 	selected := map[string]bool{}
@@ -100,15 +127,28 @@ func main() {
 		}
 	}
 
+	// checkJob distinguishes a genuine failure from an interrupt: SIGINT
+	// cancels ctx, the in-flight figure returns the cancellation error, and
+	// the partial trace must still reach disk.
+	checkJob := func(name string, err error) {
+		if err == nil {
+			return
+		}
+		flush()
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "mqobench: interrupted — partial trace and metrics flushed")
+			os.Exit(130)
+		}
+		fail(fmt.Errorf("fig %s: %w", name, err))
+	}
+
 	start := time.Now()
 	for _, j := range jobs[:len(jobs)-1] {
 		if !selected[j.name] {
 			continue
 		}
 		r, err := j.run()
-		if err != nil {
-			fail(fmt.Errorf("fig %s: %w", j.name, err))
-		}
+		checkJob(j.name, err)
 		emit(r)
 	}
 	if selected["ablation"] {
@@ -117,9 +157,7 @@ func main() {
 			bench.AblationDigitalAnnealer, bench.AblationBudget,
 		} {
 			r, err := run(ctx, cfg, sc)
-			if err != nil {
-				fail(err)
-			}
+			checkJob("ablation", err)
 			emit(r)
 		}
 	}

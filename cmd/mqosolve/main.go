@@ -10,6 +10,10 @@
 // Algorithms: da-incremental (paper's method, default), da-parallel,
 // da-default, da-pt, sa-default, sa-incremental, hqa, va, hc, genetic,
 // greedy, exact, astar.
+//
+// Observability: -trace out.jsonl records pipeline trace events, -metrics
+// prints a metrics summary on exit, -pprof :6060 serves net/http/pprof and
+// expvar. SIGINT flushes the partial trace before exiting.
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"incranneal/internal/baseline"
@@ -24,6 +30,7 @@ import (
 	"incranneal/internal/da"
 	"incranneal/internal/hqa"
 	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
 	"incranneal/internal/sa"
 	"incranneal/internal/solver"
 	"incranneal/internal/va"
@@ -39,6 +46,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = unbounded)")
 		printSol  = flag.Bool("print-solution", false, "print the selected plan per query")
+		trace     = flag.String("trace", "", "write a JSONL pipeline trace to this file")
+		metrics   = flag.Bool("metrics", false, "print a metrics summary on exit")
+		pprofAddr = flag.String("pprof", "", "serve pprof/expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -46,15 +56,31 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	sink, flush, err := obs.SetupCLI("mqosolve", *trace, *metrics, *pprofAddr)
+	if err != nil {
+		fail(err)
+	}
+	defer flush()
+	if sink.Enabled() {
+		ctx = obs.NewContext(ctx, sink)
+	}
 	start := time.Now()
 	sol, cost, stats, err := run(ctx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout)
 	if err != nil {
+		// SIGINT cancels ctx mid-solve; flush whatever the trace recorded
+		// before reporting the interrupt.
+		flush()
+		if ctx.Err() != nil && *timeout == 0 {
+			fmt.Fprintln(os.Stderr, "mqosolve: interrupted — partial trace and metrics flushed")
+			os.Exit(130)
+		}
 		fail(err)
 	}
 	fmt.Printf("instance:   %s (%d queries, %d plans, %d savings)\n", p.Name, p.NumQueries(), p.NumPlans(), p.NumSavings())

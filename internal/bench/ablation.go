@@ -40,6 +40,7 @@ func AblationDSS(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 	r := &Report{
 		ID:      "ablation-dss",
 		Title:   "Dynamic search steering on vs. off (sequential, no re-applied savings)",
+		Header:  cfg.headerLines(scale),
 		Columns: []string{"instance", "cost with DSS", "cost without DSS", "reapplied savings"},
 	}
 	for inst := 0; inst < scale.Instances; inst++ {
@@ -76,6 +77,7 @@ func AblationPostProcess(ctx context.Context, cfg Config, scale Scale) (*Report,
 	r := &Report{
 		ID:      "ablation-postprocess",
 		Title:   "Partition post-processing (Algorithm 1) on vs. off",
+		Header:  cfg.headerLines(scale),
 		Columns: []string{"instance", "discarded (4 parses)", "discarded (off)", "cost (4 parses)", "cost (off)"},
 	}
 	for inst := 0; inst < scale.Instances; inst++ {
@@ -125,6 +127,7 @@ func AblationLagrange(ctx context.Context, cfg Config, scale Scale) (*Report, er
 	r := &Report{
 		ID:      "ablation-lagrange",
 		Title:   "Balance multiplier ω_A below/at/above the Theorem 4.5 bound",
+		Header:  cfg.headerLines(scale),
 		Columns: []string{"instance", "ω_A scale", "imbalance (plans)", "cut weight"},
 	}
 	dev := &sa.Solver{}
@@ -173,6 +176,7 @@ func AblationDigitalAnnealer(ctx context.Context, cfg Config, scale Scale) (*Rep
 	r := &Report{
 		ID:      "ablation-da",
 		Title:   "Digital Annealer enhancements: parallel trial and dynamic offset",
+		Header:  cfg.headerLines(scale),
 		Columns: []string{"instance", "full DA", "no dynamic offset", "single flip"},
 	}
 	variants := []struct {

@@ -18,6 +18,7 @@ func AblationBudget(ctx context.Context, cfg Config, scale Scale) (*Report, erro
 	r := &Report{
 		ID:      "ablation-budget",
 		Title:   "Solution cost vs. annealing budget (DA incremental)",
+		Header:  cfg.headerLines(scale),
 		Columns: []string{"instance", "sweeps/var", "cost", "sweeps performed"},
 	}
 	levels := []int{10, 40, 100, 200}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"incranneal/internal/obs"
+)
+
+func TestThinPoints(t *testing.T) {
+	pts := make([]obs.ConvPoint, 11)
+	for i := range pts {
+		pts[i] = obs.ConvPoint{Sweep: i * 10, Energy: float64(-i)}
+	}
+	out := thinPoints(pts, 5)
+	if len(out) != 5 {
+		t.Fatalf("len = %d, want 5", len(out))
+	}
+	if out[0] != pts[0] || out[4] != pts[10] {
+		t.Errorf("first/last not kept: %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Sweep <= out[i-1].Sweep {
+			t.Errorf("thinned points not increasing: %v", out)
+		}
+	}
+	if got := thinPoints(pts[:3], 5); len(got) != 3 {
+		t.Errorf("short curve altered: %v", got)
+	}
+}
+
+func TestConvergenceRowsMergeRuns(t *testing.T) {
+	events := []obs.Event{
+		// Two runs of the same sub, completion order scrambled: the curve
+		// must be the running min over the union of the points.
+		{Name: "run", Device: "da", Label: "sub01", Run: 1, Points: []obs.ConvPoint{{Sweep: 0, Energy: -5}, {Sweep: 20, Energy: -9}}},
+		{Name: "run", Device: "da", Label: "sub00", Run: 0, Points: []obs.ConvPoint{{Sweep: 0, Energy: -4}, {Sweep: 10, Energy: -8}, {Sweep: 30, Energy: -12}}},
+		{Name: "run", Device: "da", Label: "sub00", Run: 1, Points: []obs.ConvPoint{{Sweep: 0, Energy: -6}, {Sweep: 25, Energy: -10}}},
+		// Bisection solves must not pollute the MQO convergence table.
+		{Name: "run", Device: "da", Label: "bisect", Run: 0, Points: []obs.ConvPoint{{Sweep: 0, Energy: -99}}},
+		{Name: "merge", Label: "sub00", N: 1, Value: 40},
+		{Name: "merge", Label: "sub01", N: 2, Value: 33},
+	}
+	rows := convergenceRows(events)
+	var scopes []string
+	for _, r := range rows {
+		scopes = append(scopes, r.scope)
+	}
+	joined := strings.Join(scopes, ",")
+	if strings.Contains(joined, "bisect") {
+		t.Errorf("bisection runs leaked into rows: %v", rows)
+	}
+	// sub scopes sorted first, global last.
+	if rows[len(rows)-1].scope != "global" || rows[len(rows)-2].scope != "global" {
+		t.Errorf("global rows not last: %v", scopes)
+	}
+	var sub00 []convRow
+	for _, r := range rows {
+		if r.scope == "sub00" {
+			sub00 = append(sub00, r)
+		}
+	}
+	// Union of sub00's runs: (0,-6) then (10,-8), (20 absent), (25,-10), (30,-12).
+	want := []convRow{{"sub00", 0, -6}, {"sub00", 10, -8}, {"sub00", 25, -10}, {"sub00", 30, -12}}
+	if len(sub00) != len(want) {
+		t.Fatalf("sub00 rows = %v, want %v", sub00, want)
+	}
+	for i := range want {
+		if sub00[i] != want[i] {
+			t.Errorf("sub00[%d] = %v, want %v", i, sub00[i], want[i])
+		}
+	}
+	for i := 1; i < len(sub00); i++ {
+		if sub00[i].energy >= sub00[i-1].energy {
+			t.Errorf("incumbent curve not strictly decreasing: %v", sub00)
+		}
+	}
+}
+
+// TestConvergenceDSSAblation pins the figure's reason to exist: with dynamic
+// search steering on, discarded savings are re-applied (reapplied > 0) and
+// the trajectory differs from the DSS-off run under the identical seed and
+// sweep budget.
+func TestConvergenceDSSAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full incremental pipeline twice")
+	}
+	scale := SmokeScale()
+	cfg := ConfigFor(scale)
+	r, err := Convergence(context.Background(), cfg, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "convergence" || len(r.Header) == 0 {
+		t.Fatalf("malformed report: %+v", r)
+	}
+	byVariant := map[string][]string{}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Columns) {
+			t.Fatalf("row width %d != %d columns: %v", len(row), len(r.Columns), row)
+		}
+		byVariant[row[0]] = append(byVariant[row[0]], strings.Join(row[1:], "|"))
+	}
+	for _, v := range []string{"dss-on", "dss-off"} {
+		rows := byVariant[v]
+		if len(rows) == 0 {
+			t.Fatalf("no rows for variant %s", v)
+		}
+		var haveSub, haveGlobal bool
+		for _, row := range rows {
+			if strings.HasPrefix(row, "sub") {
+				haveSub = true
+			}
+			if strings.HasPrefix(row, "global") {
+				haveGlobal = true
+			}
+		}
+		if !haveSub || !haveGlobal {
+			t.Errorf("%s missing scopes (sub=%v global=%v):\n%v", v, haveSub, haveGlobal, rows)
+		}
+	}
+	if strings.Join(byVariant["dss-on"], "\n") == strings.Join(byVariant["dss-off"], "\n") {
+		t.Error("DSS on and off produced identical trajectories — ablation indistinguishable")
+	}
+	reapplied := map[string]float64{}
+	for _, n := range r.Notes {
+		var cost, reap float64
+		var parts, sweeps int
+		var name string
+		if _, err := fmt.Sscanf(n, "%s final cost %f over %d partitions, reapplied savings %f, %d sweeps",
+			&name, &cost, &parts, &reap, &sweeps); err == nil {
+			reapplied[strings.TrimSuffix(name, ":")] = reap
+			if parts < 2 {
+				t.Errorf("%s did not partition (%d partial problems) — convergence figure needs the incremental path", name, parts)
+			}
+		}
+	}
+	if v, ok := reapplied["dss-on"]; !ok || v <= 0 {
+		t.Errorf("dss-on reapplied savings = %v, want > 0 (notes: %v)", v, r.Notes)
+	}
+	if v, ok := reapplied["dss-off"]; !ok || v != 0 {
+		t.Errorf("dss-off reapplied savings = %v, want 0 (notes: %v)", v, r.Notes)
+	}
+}

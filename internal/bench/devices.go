@@ -24,8 +24,9 @@ import (
 func DeviceShootout(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 	cfg = cfg.withDefaults()
 	r := &Report{
-		ID:    "devices",
-		Title: "Quantum(-inspired) device comparison on identical MQO QUBOs",
+		ID:     "devices",
+		Title:  "Quantum(-inspired) device comparison on identical MQO QUBOs",
+		Header: cfg.headerLines(scale),
 	}
 	type device struct {
 		name  string

@@ -19,6 +19,7 @@ func Fig1(scale Scale) *Report {
 	r := &Report{
 		ID:      "fig1",
 		Title:   "Qubit capacity requirements of the original quantum MQO method (10 PPQ)",
+		Header:  []string{fmt.Sprintf("scale=%s (analytic figure: no solver runs, no seeds)", scale.Name)},
 		Columns: []string{"queries", "logical vars", "2X qubits", "2X fits", "Advantage qubits", "Advantage fits"},
 	}
 	dw2x, adv := embed.DWave2X(), embed.Advantage()
@@ -113,8 +114,9 @@ func statCells(cs *classStats, cutoff float64) string {
 func Fig3(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 	cfg = cfg.withDefaults()
 	r := &Report{
-		ID:    "fig3",
-		Title: fmt.Sprintf("Normalised costs, 4 varying communities, densities [0.05,1] (%s scale)", scale.Name),
+		ID:     "fig3",
+		Title:  fmt.Sprintf("Normalised costs, 4 varying communities, densities [0.05,1] (%s scale)", scale.Name),
+		Header: cfg.headerLines(scale),
 	}
 	algos := Roster(cfg)
 	r.Columns = append([]string{"queries", "PPQ"}, algoNames(algos)...)
@@ -163,8 +165,9 @@ func Fig3(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 func Fig4(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 	cfg = cfg.withDefaults()
 	r := &Report{
-		ID:    "fig4",
-		Title: fmt.Sprintf("Normalised costs vs. number of communities, %d PPQ (%s scale)", scale.StandardPPQ, scale.Name),
+		ID:     "fig4",
+		Title:  fmt.Sprintf("Normalised costs vs. number of communities, %d PPQ (%s scale)", scale.StandardPPQ, scale.Name),
+		Header: cfg.headerLines(scale),
 	}
 	algos := ProcessingRoster(cfg)
 	r.Columns = append([]string{"sizes", "communities", "queries"}, algoNames(algos)...)
@@ -207,8 +210,9 @@ func Fig4(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 func Fig5(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 	cfg = cfg.withDefaults()
 	r := &Report{
-		ID:    "fig5",
-		Title: fmt.Sprintf("Normalised costs vs. community density interval, %d PPQ, 4 varying communities (%s scale)", scale.StandardPPQ, scale.Name),
+		ID:     "fig5",
+		Title:  fmt.Sprintf("Normalised costs vs. community density interval, %d PPQ, 4 varying communities (%s scale)", scale.StandardPPQ, scale.Name),
+		Header: cfg.headerLines(scale),
 	}
 	algos := []Algorithm{DADefault(cfg), DAIncremental(cfg)}
 	r.Columns = append([]string{"densities", "queries"}, algoNames(algos)...)
@@ -244,8 +248,9 @@ func Fig5(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 func Fig6(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 	cfg = cfg.withDefaults()
 	r := &Report{
-		ID:    "fig6",
-		Title: fmt.Sprintf("Normalised costs on QO-benchmark scenarios, %d PPQ (%s scale)", scale.StandardPPQ, scale.Name),
+		ID:     "fig6",
+		Title:  fmt.Sprintf("Normalised costs on QO-benchmark scenarios, %d PPQ (%s scale)", scale.StandardPPQ, scale.Name),
+		Header: cfg.headerLines(scale),
 	}
 	// The paper's Fig. 6 omits DA (Parallel) and SA (Default), whose
 	// relative weakness is unchanged from Fig. 3.
@@ -292,8 +297,9 @@ func Fig6(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 func Fig7(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
 	cfg = cfg.withDefaults()
 	r := &Report{
-		ID:    "fig7",
-		Title: fmt.Sprintf("Optimisation times, %d PPQ (%s scale)", scale.StandardPPQ, scale.Name),
+		ID:     "fig7",
+		Title:  fmt.Sprintf("Optimisation times, %d PPQ (%s scale)", scale.StandardPPQ, scale.Name),
+		Header: cfg.headerLines(scale),
 	}
 	algos := []Algorithm{
 		SADefault(cfg), SAIncremental(cfg), HQAIncremental(cfg),
@@ -347,7 +353,8 @@ func PhaseReport(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 	r := &Report{
 		ID:      "phases",
 		Title:   fmt.Sprintf("Phase timings of the DA processing strategies, %d PPQ (%s scale)", scale.StandardPPQ, scale.Name),
-		Columns: []string{"strategy", "queries", "total", "partition", "encode", "anneal", "decode+merge", "cost"},
+		Header:  cfg.headerLines(scale),
+		Columns: []string{"strategy", "queries", "total", "partition", "encode", "anneal", "decode+merge", "dss", "cost"},
 	}
 	algos := ProcessingRoster(cfg)
 	for _, q := range scale.QuerySet {
@@ -357,13 +364,14 @@ func PhaseReport(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 		}
 		for _, m := range RunInstance(ctx, algos, p, classSeed("phasesrun", q, 0, 0)) {
 			if m.Err != nil {
-				r.AddRow(m.Algorithm, fmt.Sprintf("%d", q), "err", "—", "—", "—", "—", "—")
+				r.AddRow(m.Algorithm, fmt.Sprintf("%d", q), "err", "—", "—", "—", "—", "—", "—")
 				continue
 			}
 			r.AddRow(m.Algorithm, fmt.Sprintf("%d", q),
 				fmtDur(m.Elapsed),
 				fmtDur(m.Timings.Partition), fmtDur(m.Timings.Encode),
 				fmtDur(m.Timings.Anneal), fmtDur(m.Timings.Decode),
+				fmtDur(m.Timings.DSS),
 				fmt.Sprintf("%.0f", m.Cost))
 		}
 	}

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"incranneal/internal/baseline"
@@ -86,6 +87,30 @@ func (c Config) withDefaults() Config {
 		c.GeneticPopulations = []int{50, 200}
 	}
 	return c
+}
+
+// headerLines renders the effective run configuration for report headers:
+// everything a reader needs to reproduce a table from the binary alone.
+// Per-instance seeds derive deterministically from the figure label and the
+// instance axes (classSeed), so naming the derivation pins them.
+func (c Config) headerLines(scale Scale) []string {
+	c = c.withDefaults()
+	par := "GOMAXPROCS"
+	switch {
+	case c.Parallelism > 0:
+		par = fmt.Sprintf("%d", c.Parallelism)
+	case c.Parallelism < 0:
+		par = "sequential"
+	}
+	budget := "unbounded"
+	if c.TimeBudget > 0 {
+		budget = c.TimeBudget.String()
+	}
+	return []string{
+		fmt.Sprintf("scale=%s instances=%d device=da(capacity=%d)", scale.Name, scale.Instances, c.DACapacity),
+		fmt.Sprintf("runs=%d sweeps_per_var=%d (total sweeps = sweeps_per_var × #plans) parallelism=%s time_budget=%s", c.Runs, c.SweepsPerVar, par, budget),
+		"seeds: classSeed(figure label, axes, instance) — fixed per cell, independent of execution order",
+	}
 }
 
 // Score is the result of one algorithm run: the solution cost plus, for the

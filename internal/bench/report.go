@@ -11,6 +11,10 @@ type Report struct {
 	ID string
 	// Title describes the figure.
 	Title string
+	// Header lists effective-run-configuration lines (seed derivation,
+	// runs, sweep budgets, parallelism, scale, device) rendered as comments
+	// above the table, so a table or CSV alone suffices to reproduce it.
+	Header []string
 	// Columns are the header labels.
 	Columns []string
 	// Rows hold the formatted cells, aligned with Columns.
@@ -29,6 +33,9 @@ func (r *Report) AddRow(cells ...string) {
 func (r *Report) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, h := range r.Header {
+		fmt.Fprintf(&sb, "# %s\n", h)
+	}
 	widths := make([]int, len(r.Columns))
 	for i, c := range r.Columns {
 		widths[i] = len(c)
@@ -75,6 +82,9 @@ func (r *Report) CSV() string {
 			qs[i] = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 		}
 		return strings.Join(qs, ",")
+	}
+	for _, h := range r.Header {
+		fmt.Fprintf(&sb, "# %s\n", h)
 	}
 	sb.WriteString(quote(r.Columns))
 	sb.WriteByte('\n')

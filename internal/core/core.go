@@ -22,6 +22,7 @@ import (
 
 	"incranneal/internal/encoding"
 	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
 	"incranneal/internal/partition"
 	"incranneal/internal/solver"
 )
@@ -105,11 +106,15 @@ type PhaseTimings struct {
 	Anneal time.Duration
 	// Decode covers sample decoding, repair, and solution merging.
 	Decode time.Duration
+	// DSS is the time spent in dynamic search steering passes (Algorithm 3):
+	// scanning pending discarded savings and adjusting plan costs. Zero for
+	// the parallel and default strategies, and under -dss=false.
+	DSS time.Duration
 }
 
 // Total sums the per-phase durations.
 func (t PhaseTimings) Total() time.Duration {
-	return t.Partition + t.Encode + t.Anneal + t.Decode
+	return t.Partition + t.Encode + t.Anneal + t.Decode + t.DSS
 }
 
 func (o Options) capacity() int {
@@ -183,17 +188,34 @@ func solveEncoded(ctx context.Context, dev solver.Solver, enc *encoding.MQOEncod
 	if err := solver.CheckCapacity(dev, enc.Model); err != nil {
 		return nil, 0, st, err
 	}
+	sink := obs.FromContext(ctx)
 	t0 := time.Now()
 	res, err := dev.Solve(ctx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed, Parallelism: parallelism})
 	st.anneal = time.Since(t0)
 	if err != nil {
 		return nil, 0, st, err
 	}
+	if sink.Enabled() {
+		sink.Emit(obs.Event{
+			Name: "anneal", Device: dev.Name(), Label: obs.LabelFromContext(ctx),
+			Dur: st.anneal, Sweeps: res.Sweeps, N: enc.Model.NumVariables(),
+		})
+	}
 	t0 = time.Now()
-	best, _, err := bestDecoded(enc, res.Samples)
+	best, bestCost, repaired, err := bestDecoded(enc, res.Samples)
 	st.decode = time.Since(t0)
 	if err != nil {
 		return nil, 0, st, err
+	}
+	if sink.Enabled() {
+		sink.Emit(obs.Event{
+			Name: "decode", Device: dev.Name(), Label: obs.LabelFromContext(ctx),
+			Dur: st.decode, N: len(res.Samples), Extra: float64(repaired), Value: bestCost,
+		})
+		if reg := sink.Metrics(); reg != nil {
+			reg.Counter("decode.samples").Add(float64(len(res.Samples)))
+			reg.Counter("decode.repaired").Add(float64(repaired))
+		}
 	}
 	return best, res.Sweeps, st, nil
 }
@@ -205,8 +227,9 @@ func solveEncoded(ctx context.Context, dev solver.Solver, enc *encoding.MQOEncod
 // are costed directly from the selection bitset with the same float-operation
 // order as Solution.Cost; only constraint-violating samples go through the
 // repair path. All per-sample scratch is reused, so the loop is
-// allocation-free apart from the winning solutions.
-func bestDecoded(enc *encoding.MQOEncoding, samples []solver.Sample) (*mqo.Solution, float64, error) {
+// allocation-free apart from the winning solutions. The third return is the
+// number of samples that needed repair (the invalid-sample rate metric).
+func bestDecoded(enc *encoding.MQOEncoding, samples []solver.Sample) (*mqo.Solution, float64, int, error) {
 	p := enc.Problem
 	n := p.NumPlans()
 	selected := make([]bool, n)
@@ -214,9 +237,10 @@ func bestDecoded(enc *encoding.MQOEncoding, samples []solver.Sample) (*mqo.Solut
 	cur := mqo.NewSolution(p)
 	var best *mqo.Solution
 	bestCost := 0.0
+	repaired := 0
 	for _, s := range samples {
 		if len(s.Assignment) != n {
-			return nil, 0, fmt.Errorf("core: sample has %d variables, problem has %d plans", len(s.Assignment), n)
+			return nil, 0, repaired, fmt.Errorf("core: sample has %d variables, problem has %d plans", len(s.Assignment), n)
 		}
 		for i, x := range s.Assignment {
 			selected[i] = x != 0
@@ -247,6 +271,7 @@ func bestDecoded(enc *encoding.MQOEncoding, samples []solver.Sample) (*mqo.Solut
 				}
 			}
 		} else {
+			repaired++
 			mqo.RepairInto(p, selected, cur, chosen)
 			c = cur.CostBuffered(p, selected)
 		}
@@ -259,7 +284,7 @@ func bestDecoded(enc *encoding.MQOEncoding, samples []solver.Sample) (*mqo.Solut
 			bestCost = c
 		}
 	}
-	return best, bestCost, nil
+	return best, bestCost, repaired, nil
 }
 
 // finalize assembles an Outcome, validating the solution against p.

@@ -7,6 +7,7 @@ import (
 
 	"incranneal/internal/encoding"
 	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
 	"incranneal/internal/solver"
 )
 
@@ -43,11 +44,28 @@ func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, e
 	if err != nil {
 		return nil, err
 	}
+	sink := obs.FromContext(ctx)
+	if sink.Enabled() {
+		sink.Emit(obs.Event{
+			Name: "anneal", Device: opt.Device.Name(),
+			Dur: tm.Anneal, Sweeps: res.Sweeps, N: enc.Model.NumVariables(),
+		})
+	}
 	decStart := time.Now()
-	bestSol, _, err := bestDecoded(enc, res.Samples)
+	bestSol, bestCost, repaired, err := bestDecoded(enc, res.Samples)
 	tm.Decode = time.Since(decStart)
 	if err != nil {
 		return nil, err
+	}
+	if sink.Enabled() {
+		sink.Emit(obs.Event{
+			Name: "decode", Device: opt.Device.Name(),
+			Dur: tm.Decode, N: len(res.Samples), Extra: float64(repaired), Value: bestCost,
+		})
+		if reg := sink.Metrics(); reg != nil {
+			reg.Counter("decode.samples").Add(float64(len(res.Samples)))
+			reg.Counter("decode.repaired").Add(float64(repaired))
+		}
 	}
 	out, err := finalize(p, bestSol, "default", start)
 	if err != nil {

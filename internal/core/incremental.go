@@ -2,14 +2,20 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"incranneal/internal/encoding"
 	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
 	"incranneal/internal/solver"
 )
+
+// subLabel names the i-th partial problem in trace events ("sub00",
+// "sub01", ...). Only built when a sink is enabled.
+func subLabel(i int) string { return fmt.Sprintf("sub%02d", i) }
 
 // SolveIncremental runs the paper's incremental optimisation with dynamic
 // search steering (Algorithms 2 and 3). The problem is partitioned to the
@@ -85,10 +91,18 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	}
 	enc := preps[0].Encoding()
 	tm.Encode += time.Since(encStart)
+	sink := obs.FromContext(ctx)
+	if sink.Enabled() {
+		sink.Emit(obs.Event{Name: "encode", Dur: tm.Encode, N: len(subs)})
+	}
 	// Overlapped encode time is accumulated separately: the goroutine runs
 	// while the device anneals, so it adds phase work without wall-clock.
 	var overlapEncNanos int64
 	for i, sub := range subs {
+		subCtx := ctx
+		if sink.Enabled() {
+			subCtx = obs.WithLabel(ctx, subLabel(i))
+		}
 		// Materialise the next encoding while the device works on this one.
 		// Its costs are only touched by the dss call below, after the join.
 		var specWG sync.WaitGroup
@@ -103,7 +117,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 				atomic.AddInt64(&overlapEncNanos, int64(time.Since(t0)))
 			}(preps[i+1])
 		}
-		best, performed, st, err := solveEncoded(ctx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), opt.Parallelism)
+		best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), opt.Parallelism)
 		specWG.Wait()
 		if err != nil {
 			return nil, err
@@ -120,10 +134,33 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 			return nil, err
 		}
 		tm.Decode += time.Since(decStart)
+		if sink.Enabled() {
+			// Incumbent global cost after each merge: Cost skips unassigned
+			// queries, so the trajectory of these events is the incremental
+			// strategy's convergence at partial-problem granularity.
+			sink.Emit(obs.Event{Name: "merge", Label: subLabel(i), N: i + 1, Value: ttlSol.Cost(p)})
+		}
 		if i+1 < len(subs) {
 			enc = specEnc
 			if !opt.DisableDSS {
-				reapplied += dss(ttlSol, subs[i+1:], pending[i+1:], dirty[i+1:])
+				dssStart := time.Now()
+				applied := dss(ttlSol, subs[i+1:], pending[i+1:], dirty[i+1:])
+				dssDur := time.Since(dssStart)
+				reapplied += applied
+				tm.DSS += dssDur
+				if sink.Enabled() {
+					dirtied := 0
+					for _, d := range dirty[i+1:] {
+						if d {
+							dirtied++
+						}
+					}
+					sink.Emit(obs.Event{Name: "dss", Label: subLabel(i), Dur: dssDur, Value: applied, N: dirtied})
+					if reg := sink.Metrics(); reg != nil {
+						reg.Counter("dss.passes").Add(1)
+						reg.Counter("dss.applied").Add(applied)
+					}
+				}
 			}
 			if dirty[i+1] {
 				// The pass adjusted the next sub-problem's costs after its
@@ -131,12 +168,26 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 				// allocation-free reweight pass over the prepared skeleton.
 				t0 := time.Now()
 				enc = preps[i+1].Encoding()
-				tm.Encode += time.Since(t0)
+				patch := time.Since(t0)
+				tm.Encode += patch
+				if sink.Enabled() {
+					sink.Emit(obs.Event{Name: "encode", Label: subLabel(i + 1), Dur: patch, N: 1})
+				}
 				dirty[i+1] = false
 			}
 		}
 	}
 	tm.Encode += time.Duration(atomic.LoadInt64(&overlapEncNanos))
+	if reg := sink.Metrics(); reg != nil {
+		var es encoding.EncodingStats
+		for _, pp := range preps {
+			s := pp.Stats()
+			es.Materialised += s.Materialised
+			es.Reweighted += s.Reweighted
+		}
+		reg.Counter("encode.materialise").Add(float64(es.Materialised))
+		reg.Counter("encode.reweight").Add(float64(es.Reweighted))
+	}
 	out, err := finalize(p, ttlSol, "incremental", start)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"incranneal/internal/da"
+	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
+	"incranneal/internal/workload"
+)
+
+// TestObsDeterminism pins the observability layer's no-perturbation
+// contract end to end: every strategy produces a bit-identical Outcome.Cost
+// and plan selection for Parallelism ∈ {-1, 1, 4}, with and without an
+// attached trace/metrics sink.
+func TestObsDeterminism(t *testing.T) {
+	in, err := workload.GenerateSweep(workload.SweepConfig{
+		Queries: 48, PPQ: 3, Communities: 3,
+		DensityLow: 0.05, DensityHigh: 0.6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []struct {
+		name string
+		run  func(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, error)
+	}{
+		{"incremental", SolveIncremental},
+		{"parallel", SolveParallel},
+		{"default", SolveDefault},
+	}
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			var refCost uint64
+			var refSel []int
+			first := true
+			for _, par := range []int{-1, 1, 4} {
+				for _, withSink := range []bool{false, true} {
+					ctx := context.Background()
+					if withSink {
+						ctx = obs.NewContext(ctx, obs.NewCollector(obs.NewRegistry()))
+					}
+					out, err := st.run(ctx, in.Problem, Options{
+						Device:      &da.Solver{CapacityVars: 96},
+						Capacity:    96,
+						Runs:        2,
+						TotalSweeps: 2000,
+						Seed:        7,
+						Parallelism: par,
+					})
+					if err != nil {
+						t.Fatalf("parallelism %d sink %v: %v", par, withSink, err)
+					}
+					cost := math.Float64bits(out.Cost)
+					if first {
+						refCost, refSel, first = cost, out.Solution.Selected, false
+						continue
+					}
+					if cost != refCost {
+						t.Errorf("parallelism %d sink %v: cost bits %x, want %x", par, withSink, cost, refCost)
+					}
+					if len(out.Solution.Selected) != len(refSel) {
+						t.Fatalf("parallelism %d sink %v: selection length changed", par, withSink)
+					}
+					for q := range refSel {
+						if out.Solution.Selected[q] != refSel[q] {
+							t.Errorf("parallelism %d sink %v: query %d plan %d, want %d",
+								par, withSink, q, out.Solution.Selected[q], refSel[q])
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestObsIncrementalEmitsPipelineEvents asserts the incremental pipeline's
+// trace tells the whole story: partitioning, per-sub encodes, device runs,
+// merges, DSS passes and the prepared-encoding cache counters.
+func TestObsIncrementalEmitsPipelineEvents(t *testing.T) {
+	in, err := workload.GenerateSweep(workload.SweepConfig{
+		Queries: 48, PPQ: 3, Communities: 3,
+		DensityLow: 0.05, DensityHigh: 0.6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sink := obs.NewCollector(reg)
+	ctx := obs.NewContext(context.Background(), sink)
+	out, err := SolveIncremental(ctx, in.Problem, Options{
+		Device:      &da.Solver{CapacityVars: 96},
+		Capacity:    96,
+		Runs:        2,
+		TotalSweeps: 2000,
+		Seed:        7,
+		Parallelism: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumPartitions < 2 {
+		t.Fatalf("instance did not partition (%d partial problems)", out.NumPartitions)
+	}
+	counts := map[string]int{}
+	subLabelled := 0
+	for _, e := range sink.Events() {
+		counts[e.Name]++
+		if e.Name == "run" && e.Label != "" && e.Label != "bisect" {
+			subLabelled++
+		}
+	}
+	for _, want := range []string{"run", "anneal", "decode", "merge", "partition", "bisect", "pool"} {
+		if counts[want] == 0 {
+			t.Errorf("no %q events in trace: %v", want, counts)
+		}
+	}
+	if counts["merge"] != out.NumPartitions {
+		t.Errorf("merge events = %d, want one per partition (%d)", counts["merge"], out.NumPartitions)
+	}
+	if subLabelled == 0 {
+		t.Error("no device runs carried a subproblem label")
+	}
+	if out.ReappliedSavings > 0 && counts["dss"] == 0 {
+		t.Error("DSS applied savings but emitted no dss events")
+	}
+	mat := reg.Counter("encode.materialise").Value()
+	if mat < float64(out.NumPartitions) {
+		t.Errorf("encode.materialise = %v, want >= %d partitions", mat, out.NumPartitions)
+	}
+	if reg.Counter("anneal.sweeps.da").Value() == 0 {
+		t.Error("anneal.sweeps.da counter empty")
+	}
+}

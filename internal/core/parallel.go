@@ -7,6 +7,7 @@ import (
 
 	"incranneal/internal/encoding"
 	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
 )
 
 // SolveParallel partitions the problem and optimises every partial problem
@@ -39,11 +40,16 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 	if perSolve < 1 {
 		perSolve = -1 // sequential runs inside each partition solve
 	}
+	sink := obs.FromContext(ctx)
 	var mu sync.Mutex
 	fns := make([]func() error, len(subs))
 	for i, sub := range subs {
 		i, sub := i, sub
 		fns[i] = func() error {
+			subCtx := ctx
+			if sink.Enabled() {
+				subCtx = obs.WithLabel(ctx, subLabel(i))
+			}
 			encStart := time.Now()
 			pp, err := encoding.PrepareMQO(sub.Local)
 			if err != nil {
@@ -51,7 +57,10 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 			}
 			enc := pp.Encoding()
 			encDur := time.Since(encStart)
-			best, performed, st, err := solveEncoded(ctx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), perSolve)
+			if sink.Enabled() {
+				sink.Emit(obs.Event{Name: "encode", Label: subLabel(i), Dur: encDur, N: 1})
+			}
+			best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), perSolve)
 			if err != nil {
 				return err
 			}

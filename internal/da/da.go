@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"time"
 
+	"incranneal/internal/obs"
 	"incranneal/internal/qubo"
 	"incranneal/internal/solver"
 )
@@ -164,13 +165,18 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 	if req.TimeBudget > 0 {
 		deadline = start.Add(req.TimeBudget)
 	}
+	sink := obs.FromContext(ctx)
+	label := ""
+	if sink.Enabled() {
+		label = obs.LabelFromContext(ctx)
+	}
 	runs, steps := s.runs(req), s.steps(req)
 	prm := s.newRunParams(m, steps)
 	seeds := solver.RunSeeds(req.Seed, runs)
 	samples := make([]solver.Sample, runs)
 	performed := make([]int, runs)
 	done := make([]bool, runs)
-	solver.ForEachRun(runs, solver.Workers(req.Parallelism), func(run int) {
+	body := func(run int) {
 		// The first run always executes (a Result must hold at least one
 		// sample; anneal returns quickly under cancellation); later runs
 		// are skipped once the budget is exhausted, mirroring the
@@ -178,9 +184,17 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 		if run > 0 && (solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline))) {
 			return
 		}
-		sample, p := s.anneal(ctx, m, prm, rand.New(rand.NewSource(seeds[run])), deadline)
+		rt := sink.StartRun("da", label, run)
+		sample, p := s.anneal(ctx, m, prm, rand.New(rand.NewSource(seeds[run])), deadline, rt)
 		samples[run], performed[run], done[run] = sample, p, true
-	})
+	}
+	workers := solver.Workers(req.Parallelism)
+	if sink.Enabled() {
+		ps := solver.ForEachRunStats(runs, workers, body)
+		sink.Pool("da", label, ps.Runs, ps.Workers, ps.Busy, ps.Wall)
+	} else {
+		solver.ForEachRun(runs, workers, body)
+	}
 	res := &solver.Result{}
 	for run := range samples {
 		if done[run] {
@@ -194,14 +208,18 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 }
 
 // anneal performs one Digital Annealer run over the precomputed schedule
-// and returns the best sample seen.
-func (s *Solver) anneal(ctx context.Context, m *qubo.Model, prm runParams, rng *rand.Rand, deadline time.Time) (solver.Sample, int) {
+// and returns the best sample seen. rt records the run's convergence
+// trajectory and acceptance counters; a nil rt (tracing disabled) keeps the
+// loop allocation-free — every recorder call is one nil-check branch.
+func (s *Solver) anneal(ctx context.Context, m *qubo.Model, prm runParams, rng *rand.Rand, deadline time.Time, rt *obs.RunTrace) (solver.Sample, int) {
 	n := m.NumVariables()
 	st := qubo.NewRandomState(m, rng)
 	var best qubo.BestTracker
 	best.Observe(st)
+	rt.Observe(0, best.Energy())
 	offset := 0.0
 	performed := 0
+	var flips int64
 	checkEvery := 256
 	for step := 0; step < len(prm.temps); step++ {
 		if step%checkEvery == 0 {
@@ -217,9 +235,12 @@ func (s *Solver) anneal(ctx context.Context, m *qubo.Model, prm runParams, rng *
 			delta := st.DeltaEnergy(v)
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 				st.Flip(v)
+				flips++
 			}
 			performed++
-			best.Observe(st)
+			if best.Observe(st) {
+				rt.Observe(step, best.Energy())
+			}
 			continue
 		}
 		// Parallel trial: acceptance test rand < exp(−(ΔE−offset)/T) is
@@ -238,10 +259,14 @@ func (s *Solver) anneal(ctx context.Context, m *qubo.Model, prm runParams, rng *
 			continue
 		}
 		st.Flip(st.PickKthBelow(theta, rng.Intn(accepted)))
+		flips++
 		offset = 0
 		performed++
-		best.Observe(st)
+		if best.Observe(st) {
+			rt.Observe(step, best.Energy())
+		}
 	}
+	rt.Finish(performed, flips, int64(performed))
 	return solver.Sample{Assignment: best.Assignment(), Energy: best.Energy()}, performed
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"incranneal/internal/obs"
 	"incranneal/internal/qubo"
 	"incranneal/internal/solver"
 )
@@ -82,6 +83,25 @@ func (s *Solver) SolvePT(ctx context.Context, req solver.Request) (*solver.Resul
 	exchangeEvery := 20
 	workers := solver.Workers(req.Parallelism)
 	performed := 0
+	// Observability: one RunTrace covers the whole ladder (the ladder is one
+	// logical anneal); per-slot flip counters and the incumbent scan after
+	// each segment exist only when a sink is present, so the disabled path
+	// allocates and computes exactly what the pre-instrumentation code did.
+	sink := obs.FromContext(ctx)
+	var rt *obs.RunTrace
+	var flipCounts []int64
+	var pool solver.PoolStats
+	bestSeen := math.Inf(1)
+	if sink.Enabled() {
+		rt = sink.StartRun("da-pt", obs.LabelFromContext(ctx), 0)
+		flipCounts = make([]int64, replicas)
+		for _, t := range trackers {
+			if t.Energy() < bestSeen {
+				bestSeen = t.Energy()
+			}
+		}
+		rt.Observe(0, bestSeen)
+	}
 	for done := 0; done < steps; done += exchangeEvery {
 		if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
 			break
@@ -90,13 +110,29 @@ func (s *Solver) SolvePT(ctx context.Context, req solver.Request) (*solver.Resul
 		if rest := steps - done; segment > rest {
 			segment = rest
 		}
-		solver.ForEachRun(replicas, workers, func(i int) {
+		body := func(i int) {
 			st := states[i]
 			for k := 0; k < segment; k++ {
-				s.parallelTrialStep(st, temps[i], &offsets[i], offUnit, rngs[i])
+				if s.parallelTrialStep(st, temps[i], &offsets[i], offUnit, rngs[i]) && flipCounts != nil {
+					flipCounts[i]++
+				}
 				trackers[i].Observe(st)
 			}
-		})
+		}
+		if rt != nil {
+			pool.Add(solver.ForEachRunStats(replicas, workers, body))
+			improved := false
+			for i := range trackers {
+				if e := trackers[i].Energy(); e < bestSeen {
+					bestSeen, improved = e, true
+				}
+			}
+			if improved {
+				rt.Observe((done+segment)*replicas, bestSeen)
+			}
+		} else {
+			solver.ForEachRun(replicas, workers, body)
+		}
 		performed += segment
 		// A full interval ends with an exchange pass; the trailing partial
 		// segment (if any) does not, matching the per-step schedule.
@@ -109,6 +145,14 @@ func (s *Solver) SolvePT(ctx context.Context, req solver.Request) (*solver.Resul
 				}
 			}
 		}
+	}
+	if rt != nil {
+		var flips int64
+		for _, f := range flipCounts {
+			flips += f
+		}
+		rt.Finish(performed*replicas, flips, int64(performed*replicas))
+		sink.Pool("da-pt", obs.LabelFromContext(ctx), pool.Runs, pool.Workers, pool.Busy, pool.Wall)
 	}
 	bestIdx := 0
 	for i := 1; i < replicas; i++ {
@@ -131,17 +175,19 @@ func (s *Solver) SolvePT(ctx context.Context, req solver.Request) (*solver.Resul
 // parallelTrialStep performs one Digital Annealer Monte-Carlo step on st at
 // the given temperature: the shared-random threshold scan of Solve.anneal,
 // factored out so annealing and tempering share the exact hardware step.
-func (s *Solver) parallelTrialStep(st *qubo.State, temp float64, offset *float64, offUnit float64, rng *rand.Rand) {
+// It reports whether a flip was performed.
+func (s *Solver) parallelTrialStep(st *qubo.State, temp float64, offset *float64, offUnit float64, rng *rand.Rand) bool {
 	theta := *offset + temp*expVariate(rng)
 	accepted := st.CountBelow(theta)
 	if accepted == 0 {
 		if !s.DisableDynamicOffset {
 			*offset += offUnit
 		}
-		return
+		return false
 	}
 	st.Flip(st.PickKthBelow(theta, rng.Intn(accepted)))
 	*offset = 0
+	return true
 }
 
 func maxIntPT(a, b int) int {

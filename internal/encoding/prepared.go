@@ -46,7 +46,19 @@ type PreparedMQO struct {
 	enc    *MQOEncoding
 	linear []float64
 	coeffs []float64
+	stats  EncodingStats
 }
+
+// EncodingStats counts how a prepared skeleton was used: Materialised is
+// the number of full model builds (first Encoding call), Reweighted the
+// number of in-place coefficient rewrites after DSS dirtied the costs. The
+// pipeline's cache-effectiveness metrics aggregate these across skeletons.
+type EncodingStats struct {
+	Materialised, Reweighted int
+}
+
+// Stats returns the skeleton's materialisation counters.
+func (pp *PreparedMQO) Stats() EncodingStats { return pp.stats }
 
 // PrepareMQO builds the immutable encoding skeleton of p. The structure
 // depends only on the query/plan layout and the savings pairs, both of which
@@ -127,6 +139,7 @@ func (pp *PreparedMQO) NumTerms() int { return len(pp.terms) }
 func (pp *PreparedMQO) Encoding() *MQOEncoding {
 	a := pp.Penalty()
 	if pp.enc == nil {
+		pp.stats.Materialised++
 		pp.linear = make([]float64, pp.Problem.NumPlans())
 		pp.coeffs = make([]float64, len(pp.terms))
 		pp.fill(a)
@@ -144,6 +157,7 @@ func (pp *PreparedMQO) Encoding() *MQOEncoding {
 		}
 		return pp.enc
 	}
+	pp.stats.Reweighted++
 	pp.fill(a)
 	pp.enc.Model.Reweight(pp.linear, pp.coeffs)
 	pp.enc.Penalty = a

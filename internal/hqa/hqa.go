@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"incranneal/internal/obs"
 	"incranneal/internal/qubo"
 	"incranneal/internal/solver"
 )
@@ -142,17 +143,30 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 		runs = 1
 	}
 	iters := s.iterations(req)
+	sink := obs.FromContext(ctx)
+	label := ""
+	if sink.Enabled() {
+		label = obs.LabelFromContext(ctx)
+	}
 	seeds := solver.RunSeeds(req.Seed, runs)
 	samples := make([]solver.Sample, runs)
 	sweepCounts := make([]int, runs)
 	done := make([]bool, runs)
-	solver.ForEachRun(runs, solver.Workers(req.Parallelism), func(run int) {
+	body := func(run int) {
 		if run > 0 && (solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline))) {
 			return
 		}
-		sample, sw := s.hybridRun(ctx, m, iters, rand.New(rand.NewSource(seeds[run])), deadline)
+		rt := sink.StartRun("hqa", label, run)
+		sample, sw := s.hybridRun(ctx, m, iters, rand.New(rand.NewSource(seeds[run])), deadline, rt)
 		samples[run], sweepCounts[run], done[run] = sample, sw, true
-	})
+	}
+	workers := solver.Workers(req.Parallelism)
+	if sink.Enabled() {
+		ps := solver.ForEachRunStats(runs, workers, body)
+		sink.Pool("hqa", label, ps.Runs, ps.Workers, ps.Busy, ps.Wall)
+	} else {
+		solver.ForEachRun(runs, workers, body)
+	}
 	res := &solver.Result{}
 	for run := range samples {
 		if done[run] {
@@ -167,13 +181,18 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 
 // hybridRun executes one classical-orchestration workflow: descend to a
 // local minimum, then repeatedly carve out a high-impact subproblem, solve
-// it on the simulated QPU and re-integrate improvements.
-func (s *Solver) hybridRun(ctx context.Context, m *qubo.Model, iters int, rng *rand.Rand, deadline time.Time) (solver.Sample, int) {
+// it on the simulated QPU and re-integrate improvements. rt records the
+// incumbent trajectory (per hybrid iteration) and counts integrated QPU
+// suggestions as "flips" out of the iterations proposed.
+func (s *Solver) hybridRun(ctx context.Context, m *qubo.Model, iters int, rng *rand.Rand, deadline time.Time, rt *obs.RunTrace) (solver.Sample, int) {
 	st := qubo.NewRandomState(m, rng)
 	descend(st)
 	var best qubo.BestTracker
 	best.Observe(st)
+	rt.Observe(0, best.Energy())
 	sweeps := 0
+	var integrated int64
+	performedIters := 0
 	for it := 0; it < iters; it++ {
 		if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
 			break
@@ -198,9 +217,15 @@ func (s *Solver) hybridRun(ctx context.Context, m *qubo.Model, iters int, rng *r
 					st.Flip(v)
 				}
 			}
+		} else {
+			integrated++
 		}
-		best.Observe(st)
+		performedIters++
+		if best.Observe(st) {
+			rt.Observe(sweeps, best.Energy())
+		}
 	}
+	rt.Finish(sweeps, integrated, int64(performedIters))
 	return solver.Sample{Assignment: best.Assignment(), Energy: best.Energy()}, sweeps
 }
 

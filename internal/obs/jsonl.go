@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// appendEventJSON appends one JSONL trace line for e to dst. The encoder is
+// hand-rolled over the flat Event struct — no reflection, no intermediate
+// map — and reuses the sink's scratch buffer, so an enabled trace costs one
+// buffered write per event. Zero-valued fields are omitted to keep traces
+// compact and greppable.
+func appendEventJSON(dst []byte, e *Event) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = appendSeconds(dst, e.T)
+	dst = append(dst, `,"ev":`...)
+	dst = strconv.AppendQuote(dst, e.Name)
+	if e.Device != "" {
+		dst = append(dst, `,"dev":`...)
+		dst = strconv.AppendQuote(dst, e.Device)
+	}
+	if e.Label != "" {
+		dst = append(dst, `,"label":`...)
+		dst = strconv.AppendQuote(dst, e.Label)
+	}
+	if e.Run != 0 {
+		dst = append(dst, `,"run":`...)
+		dst = strconv.AppendInt(dst, int64(e.Run), 10)
+	}
+	if e.Dur != 0 {
+		dst = append(dst, `,"dur":`...)
+		dst = appendSeconds(dst, e.Dur)
+	}
+	if e.Sweeps != 0 {
+		dst = append(dst, `,"sweeps":`...)
+		dst = strconv.AppendInt(dst, int64(e.Sweeps), 10)
+	}
+	if e.Flips != 0 {
+		dst = append(dst, `,"flips":`...)
+		dst = strconv.AppendInt(dst, e.Flips, 10)
+	}
+	if e.Steps != 0 {
+		dst = append(dst, `,"steps":`...)
+		dst = strconv.AppendInt(dst, e.Steps, 10)
+	}
+	if e.N != 0 {
+		dst = append(dst, `,"n":`...)
+		dst = strconv.AppendInt(dst, int64(e.N), 10)
+	}
+	if e.Value != 0 {
+		dst = append(dst, `,"value":`...)
+		dst = appendFloat(dst, e.Value)
+	}
+	if e.Extra != 0 {
+		dst = append(dst, `,"extra":`...)
+		dst = appendFloat(dst, e.Extra)
+	}
+	if len(e.Points) > 0 {
+		dst = append(dst, `,"points":[`...)
+		for i, p := range e.Points {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, '[')
+			dst = strconv.AppendInt(dst, int64(p.Sweep), 10)
+			dst = append(dst, ',')
+			dst = appendFloat(dst, p.Energy)
+			dst = append(dst, ']')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// appendSeconds encodes a duration as fractional seconds with microsecond
+// resolution — the natural unit for both trace analysis and plotting.
+func appendSeconds(dst []byte, d time.Duration) []byte {
+	return strconv.AppendFloat(dst, d.Seconds(), 'f', 6, 64)
+}
+
+// appendFloat encodes a float compactly ('g', shortest round-trip).
+func appendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-local metrics registry: named counters, gauges and
+// histograms, created on first use. All operations are safe for concurrent
+// use and every method is nil-safe, so a disabled registry (nil) costs a
+// branch per call and instrumentation code never guards.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry returns the nil counter, whose Add is free.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing float64, updated lock-free. Floats
+// rather than ints because several pipeline magnitudes (applied DSS
+// savings, discarded savings) are fractional.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count. Nil-safe (zero).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a last-value metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value. Nil-safe (zero).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of base-2 magnitude buckets a histogram keeps
+// on each side of 1.0 (covering ~[2^-16, 2^16) — utilisation ratios,
+// acceptance rates, energies and durations all land inside).
+const histBuckets = 16
+
+// Histogram summarises an observed distribution: count, sum, min, max and
+// coarse base-2 magnitude buckets (enough to tell "mostly near zero" from
+// "mostly near one" for rates, and to spot outliers for durations, without
+// the memory or code weight of a full quantile sketch).
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+	// buckets[i] counts observations v with 2^(i-histBuckets) <= |v| <
+	// 2^(i-histBuckets+1); index 0 also absorbs smaller magnitudes and the
+	// last index larger ones. zero counts exact zeros; neg counts v < 0.
+	buckets [2 * histBuckets]int64
+	zero    int64
+	neg     int64
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	switch {
+	case v == 0:
+		h.zero++
+	default:
+		if v < 0 {
+			h.neg++
+		}
+		e := int(math.Floor(math.Log2(math.Abs(v)))) + histBuckets
+		if e < 0 {
+			e = 0
+		}
+		if e >= len(h.buckets) {
+			e = len(h.buckets) - 1
+		}
+		h.buckets[e]++
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's summary.
+type HistogramSnapshot struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	Mean     float64
+}
+
+// Snapshot returns the histogram's current summary. Nil-safe (zeroes).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	} else {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// Snapshot renders the registry as a plain map, suitable for JSON encoding
+// (this is what the expvar export publishes). Histograms export their
+// count/mean/min/max.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s := h.Snapshot()
+		out[name] = map[string]any{"count": s.Count, "mean": s.Mean, "min": s.Min, "max": s.Max}
+	}
+	return out
+}
+
+// Summary renders the registry as an aligned, alphabetically sorted
+// human-readable table — the "-metrics" output of the CLIs.
+func (r *Registry) Summary() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	type line struct{ name, value string }
+	lines := make([]line, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		lines = append(lines, line{name, fmt.Sprintf("%.6g", c.Value())})
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, line{name, fmt.Sprintf("%.6g", g.Value())})
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	for name, h := range hists {
+		s := h.Snapshot()
+		lines = append(lines, line{name, fmt.Sprintf("count=%d mean=%.4g min=%.4g max=%.4g", s.Count, s.Mean, s.Min, s.Max)})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	width := 0
+	for _, l := range lines {
+		if len(l.name) > width {
+			width = len(l.name)
+		}
+	}
+	var sb strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&sb, "%-*s  %s\n", width, l.name, l.value)
+	}
+	return sb.String()
+}
+
+// expvarOnce guards the process-wide expvar name: expvar.Publish panics on
+// duplicates, and tests may wire several sinks.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// PublishExpvar exposes reg under the expvar name "mqo" (served on
+// /debug/vars by the default HTTP mux, which the CLIs' -pprof flag
+// starts). Calling it again swaps the published registry; the expvar name
+// is registered once per process.
+func PublishExpvar(reg *Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("mqo", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}

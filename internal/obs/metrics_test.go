@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsFree(t *testing.T) {
+	var r *Registry
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Counter("a").Add(1)
+		r.Gauge("b").Set(2)
+		r.Histogram("c").Observe(3)
+		if r.Snapshot() != nil {
+			t.Error("nil registry snapshot not nil")
+		}
+		if r.Summary() != "" {
+			t.Error("nil registry summary not empty")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil registry allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestCounterConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			for i := 0; i < 1000; i++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 4000 {
+		t.Fatalf("counter = %v, want 4000", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x")
+	for _, v := range []float64{1, 2, 3, -6} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 0 || s.Min != -6 || s.Max != 3 || s.Mean != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	empty := r.Histogram("y").Snapshot()
+	if empty.Count != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("empty snapshot = %+v", empty)
+	}
+}
+
+func TestSummaryAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("anneal.sweeps.da").Add(2000)
+	r.Gauge("pipeline.partitions").Set(4)
+	r.Histogram("pool.utilisation").Observe(0.75)
+	sum := r.Summary()
+	for _, want := range []string{"anneal.sweeps.da", "2000", "pipeline.partitions", "pool.utilisation", "count=1"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	// Sorted output: counters before histograms alphabetically here.
+	if strings.Index(sum, "anneal") > strings.Index(sum, "pool") {
+		t.Error("summary lines not sorted")
+	}
+	snap := r.Snapshot()
+	if snap["anneal.sweeps.da"] != 2000.0 {
+		t.Errorf("snapshot counter = %v", snap["anneal.sweeps.da"])
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("decode.valid").Add(12)
+	PublishExpvar(r)
+	v := expvar.Get("mqo")
+	if v == nil {
+		t.Fatal("expvar mqo not published")
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("expvar value is not JSON: %v", err)
+	}
+	if m["decode.valid"] != 12.0 {
+		t.Fatalf("expvar decode.valid = %v", m["decode.valid"])
+	}
+	// Re-publishing swaps registries instead of panicking.
+	r2 := NewRegistry()
+	r2.Counter("decode.valid").Add(5)
+	PublishExpvar(r2)
+	if err := json.Unmarshal([]byte(expvar.Get("mqo").String()), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["decode.valid"] != 5.0 {
+		t.Fatalf("swapped expvar decode.valid = %v", m["decode.valid"])
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSinkIsFree exercises every exported entry point on the disabled
+// (nil) sink: all must be no-ops, and none may allocate. This is the
+// zero-overhead contract the kernels rely on.
+func TestNilSinkIsFree(t *testing.T) {
+	var s *Sink
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Emit(Event{Name: "x"})
+		s.Pool("da", "", 4, 2, time.Second, time.Second)
+		rt := s.StartRun("da", "", 0)
+		rt.Observe(1, -2.5)
+		rt.Finish(100, 5, 100)
+		s.Metrics().Counter("c").Add(1)
+		s.Metrics().Gauge("g").Set(1)
+		s.Metrics().Histogram("h").Observe(1)
+		if s.Events() != nil {
+			t.Error("nil sink returned events")
+		}
+		if err := s.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil sink allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestFromContextDefaultsToNil(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext on bare context = %v, want nil", got)
+	}
+	if got := LabelFromContext(context.Background()); got != "" {
+		t.Fatalf("LabelFromContext on bare context = %q, want empty", got)
+	}
+	sink := NewCollector(nil)
+	ctx := NewContext(context.Background(), sink)
+	if got := FromContext(ctx); got != sink {
+		t.Fatal("FromContext did not return the installed sink")
+	}
+	ctx = WithLabel(ctx, "sub07")
+	if got := LabelFromContext(ctx); got != "sub07" {
+		t.Fatalf("LabelFromContext = %q, want sub07", got)
+	}
+	// NewContext with a nil sink must leave the context untouched.
+	if got := FromContext(NewContext(context.Background(), nil)); got != nil {
+		t.Fatal("NewContext(nil) installed a sink")
+	}
+}
+
+// TestJSONLRoundTrip checks that emitted trace lines are valid JSON with
+// the expected fields, and that zero fields are omitted.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf, nil)
+	s.Emit(Event{
+		Name: "run", Device: "da", Label: "sub03", Run: 2,
+		Dur: 1500 * time.Millisecond, Sweeps: 2000, Flips: 930, Steps: 2000,
+		Value: -123.5, Points: []ConvPoint{{Sweep: 10, Energy: -50}, {Sweep: 120, Energy: -123.5}},
+	})
+	s.Emit(Event{Name: "dss", Value: 8.25, N: 3})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d trace lines, want 2", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not valid JSON: %v\n%s", err, lines[0])
+	}
+	for key, want := range map[string]any{
+		"ev": "run", "dev": "da", "label": "sub03", "run": 2.0,
+		"sweeps": 2000.0, "flips": 930.0, "steps": 2000.0, "value": -123.5,
+	} {
+		if got := first[key]; got != want {
+			t.Errorf("line 1 %q = %v, want %v", key, got, want)
+		}
+	}
+	if pts, ok := first["points"].([]any); !ok || len(pts) != 2 {
+		t.Errorf("line 1 points = %v, want 2 pairs", first["points"])
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 is not valid JSON: %v", err)
+	}
+	if _, present := second["dev"]; present {
+		t.Error("zero-valued dev field was not omitted")
+	}
+	if second["value"] != 8.25 || second["n"] != 3.0 {
+		t.Errorf("line 2 = %v", second)
+	}
+}
+
+func TestCollectorAndChain(t *testing.T) {
+	var buf bytes.Buffer
+	outer := NewSink(&buf, nil)
+	inner := NewCollector(NewRegistry()).Chain(outer)
+	rt := inner.StartRun("sa", "sub00", 1)
+	rt.Observe(5, -1)
+	rt.Observe(9, -4)
+	rt.Finish(10, 7, 100)
+	events := inner.Events()
+	if len(events) != 1 || events[0].Name != "run" {
+		t.Fatalf("collector events = %+v", events)
+	}
+	if got := events[0].Points; len(got) != 2 || got[1] != (ConvPoint{Sweep: 9, Energy: -4}) {
+		t.Fatalf("trajectory = %v", got)
+	}
+	if events[0].Value != -4 {
+		t.Fatalf("run event final energy = %v, want -4", events[0].Value)
+	}
+	if !strings.Contains(buf.String(), `"ev":"run"`) {
+		t.Fatal("chained sink did not receive the event")
+	}
+	reg := inner.Metrics()
+	if got := reg.Counter("anneal.sweeps.sa").Value(); got != 10 {
+		t.Errorf("anneal.sweeps.sa = %v, want 10", got)
+	}
+	if got := reg.Counter("anneal.flips.sa").Value(); got != 7 {
+		t.Errorf("anneal.flips.sa = %v, want 7", got)
+	}
+}
+
+func TestSinkCloseFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<16)
+	s := NewSink(bw, nil)
+	s.Emit(Event{Name: "partition"})
+	if buf.Len() != 0 {
+		t.Skip("bufio flushed early; buffer too small for the test premise")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ev":"partition"`) {
+		t.Fatal("Close did not flush the buffered trace tail")
+	}
+}
+
+func TestSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf, NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rt := s.StartRun("da", "", w)
+				rt.Observe(i, float64(-i))
+				rt.Finish(i, int64(i), int64(i+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("interleaved line is not valid JSON: %v\n%s", err, l)
+		}
+	}
+}
+
+func TestPoolUtilisation(t *testing.T) {
+	s := NewCollector(NewRegistry())
+	s.Pool("da", "", 8, 4, 2*time.Second, time.Second)
+	ev := s.Events()
+	if len(ev) != 1 {
+		t.Fatalf("events = %d, want 1", len(ev))
+	}
+	if ev[0].Value != 0.5 {
+		t.Fatalf("utilisation = %v, want 0.5", ev[0].Value)
+	}
+	snap := s.Metrics().Histogram("pool.utilisation").Snapshot()
+	if snap.Count != 1 || snap.Mean != 0.5 {
+		t.Fatalf("histogram snapshot = %+v", snap)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"incranneal/internal/encoding"
 	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
 	"incranneal/internal/sa"
 	"incranneal/internal/solver"
 )
@@ -88,6 +90,8 @@ func Partition(ctx context.Context, p *mqo.Problem, opt Options) (*Result, error
 	if opt.Capacity <= 0 {
 		return nil, fmt.Errorf("partition: capacity must be positive, got %d", opt.Capacity)
 	}
+	start := time.Now()
+	sink := obs.FromContext(ctx)
 	g := BuildGraph(p)
 	all := make([]int, p.NumQueries())
 	for i := range all {
@@ -102,11 +106,15 @@ func Partition(ctx context.Context, p *mqo.Problem, opt Options) (*Result, error
 			return nil
 		}
 		seed++
+		t0 := time.Now()
 		part1, part2, err := bisect(ctx, g, queries, opt, seed)
 		if err != nil {
 			return err
 		}
 		res.Bisections++
+		if sink.Enabled() {
+			sink.Emit(obs.Event{Name: "bisect", Dur: time.Since(t0), N: len(queries)})
+		}
 		if err := recurse(part1); err != nil {
 			return err
 		}
@@ -140,6 +148,17 @@ func Partition(ctx context.Context, p *mqo.Problem, opt Options) (*Result, error
 		total += sp.DiscardedMagnitude()
 	}
 	res.DiscardedSavings = total / 2
+	if sink.Enabled() {
+		sink.Emit(obs.Event{
+			Name: "partition", Dur: time.Since(start),
+			N: len(res.SubProblems), Value: res.DiscardedSavings, Extra: float64(res.Bisections),
+		})
+		if reg := sink.Metrics(); reg != nil {
+			reg.Gauge("partition.subproblems").Set(float64(len(res.SubProblems)))
+			reg.Counter("partition.bisections").Add(float64(res.Bisections))
+			reg.Counter("partition.discarded").Add(res.DiscardedSavings)
+		}
+	}
 	return res, nil
 }
 
@@ -159,6 +178,11 @@ func bisect(ctx context.Context, g *Graph, queries []int, opt Options, seed int6
 		dev = &sa.Solver{}
 	}
 	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.Sweeps, Seed: seed, Parallelism: opt.Parallelism}
+	if obs.FromContext(ctx).Enabled() {
+		// Distinguish the device's bisection solves from the MQO-phase
+		// solves in traces.
+		ctx = obs.WithLabel(ctx, "bisect")
+	}
 	result, err := dev.Solve(ctx, req)
 	if err != nil {
 		return nil, nil, fmt.Errorf("partition: bisection solve: %w", err)

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"incranneal/internal/obs"
 	"incranneal/internal/qubo"
 	"incranneal/internal/solver"
 )
@@ -118,23 +119,31 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 	for sweep := range betas {
 		betas[sweep] = geometricBeta(hot, cold, sweep, sweeps)
 	}
+	sink := obs.FromContext(ctx)
+	label := ""
+	if sink.Enabled() {
+		label = obs.LabelFromContext(ctx)
+	}
 	seeds := solver.RunSeeds(req.Seed, runs)
 	samples := make([]solver.Sample, runs)
 	sweepCounts := make([]int, runs)
 	done := make([]bool, runs)
-	solver.ForEachRun(runs, solver.Workers(req.Parallelism), func(run int) {
+	body := func(run int) {
 		if run > 0 && (solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline))) {
 			return
 		}
+		rt := sink.StartRun("sa", label, run)
 		runRng := rand.New(rand.NewSource(seeds[run]))
 		st := qubo.NewRandomState(m, runRng)
 		var best qubo.BestTracker
 		best.Observe(st)
+		rt.Observe(0, best.Energy())
 		order := make([]int, m.NumVariables())
 		for i := range order {
 			order[i] = i
 		}
 		performed := 0
+		var flips, proposals int64
 		for sweep := 0; sweep < sweeps; sweep++ {
 			if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
 				break
@@ -145,14 +154,26 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 				delta := st.DeltaEnergy(v)
 				if delta <= 0 || runRng.Float64() < math.Exp(-beta*delta) {
 					st.Flip(v)
+					flips++
 				}
 			}
-			best.Observe(st)
+			proposals += int64(len(order))
+			if best.Observe(st) {
+				rt.Observe(performed+1, best.Energy())
+			}
 			performed++
 		}
+		rt.Finish(performed, flips, proposals)
 		samples[run] = solver.Sample{Assignment: best.Assignment(), Energy: best.Energy()}
 		sweepCounts[run], done[run] = performed, true
-	})
+	}
+	workers := solver.Workers(req.Parallelism)
+	if sink.Enabled() {
+		ps := solver.ForEachRunStats(runs, workers, body)
+		sink.Pool("sa", label, ps.Runs, ps.Workers, ps.Busy, ps.Wall)
+	} else {
+		solver.ForEachRun(runs, workers, body)
+	}
 	res := &solver.Result{}
 	for run := range samples {
 		if done[run] {

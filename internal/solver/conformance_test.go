@@ -1,0 +1,185 @@
+// Device conformance suite: every annealing device must honour the same
+// solver.Solver contract — deterministic Samples for any Parallelism, results
+// unchanged by an attached observability sink, TimeBudget bounding wall-clock
+// time, and graceful best-so-far returns on context cancellation. The suite
+// lives outside the device packages so one table covers them all.
+package solver_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"incranneal/internal/da"
+	"incranneal/internal/hqa"
+	"incranneal/internal/obs"
+	"incranneal/internal/qubo"
+	"incranneal/internal/sa"
+	"incranneal/internal/solver"
+	"incranneal/internal/va"
+)
+
+// ptSolver adapts the Digital Annealer's parallel-tempering mode to the
+// Solver interface, mirroring how the CLIs and benchmarks use it.
+type ptSolver struct{ *da.Solver }
+
+func (s *ptSolver) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return s.SolvePT(ctx, req)
+}
+
+func devices() []solver.Solver {
+	return []solver.Solver{
+		&da.Solver{},
+		&ptSolver{&da.Solver{}},
+		&sa.Solver{},
+		&va.Solver{},
+		&hqa.Solver{},
+	}
+}
+
+func deviceName(s solver.Solver) string {
+	if _, ok := s.(*ptSolver); ok {
+		return "da-pt"
+	}
+	return s.Name()
+}
+
+// conformanceModel builds a deterministic, frustrated 20-variable QUBO —
+// small enough for every device, structured enough that runs actually move.
+func conformanceModel() *qubo.Model {
+	const n = 20
+	b := qubo.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddLinear(i, float64((i*7)%5)-2.0)
+		for j := i + 1; j < n && j <= i+4; j++ {
+			b.AddQuadratic(i, j, float64((i*3+j*5)%7)-3.0)
+		}
+	}
+	return b.Build()
+}
+
+func sameSamples(a, b []solver.Sample) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Energy != b[i].Energy || len(a[i].Assignment) != len(b[i].Assignment) {
+			return false
+		}
+		for k := range a[i].Assignment {
+			if a[i].Assignment[k] != b[i].Assignment[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func checkResult(t *testing.T, m *qubo.Model, res *solver.Result) {
+	t.Helper()
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for i, s := range res.Samples {
+		if len(s.Assignment) != m.NumVariables() {
+			t.Fatalf("sample %d: assignment length %d, want %d", i, len(s.Assignment), m.NumVariables())
+		}
+		if e := m.Energy(s.Assignment); math.Abs(e-s.Energy) > 1e-6 {
+			t.Errorf("sample %d: reported energy %v, recomputed %v", i, s.Energy, e)
+		}
+		if i > 0 && res.Samples[i].Energy < res.Samples[i-1].Energy {
+			t.Errorf("samples not sorted: [%d]=%v < [%d]=%v", i, res.Samples[i].Energy, i-1, res.Samples[i-1].Energy)
+		}
+	}
+}
+
+// TestDeviceConformanceDeterminism pins the Parallelism contract: Samples
+// are bit-identical for sequential, single-worker and multi-worker
+// execution, and an attached observability sink changes nothing.
+func TestDeviceConformanceDeterminism(t *testing.T) {
+	m := conformanceModel()
+	for _, dev := range devices() {
+		t.Run(deviceName(dev), func(t *testing.T) {
+			base := solver.Request{Model: m, Runs: 4, Sweeps: 300, Seed: 7}
+			var ref *solver.Result
+			for _, par := range []int{-1, 1, 4} {
+				req := base
+				req.Parallelism = par
+				res, err := dev.Solve(context.Background(), req)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				checkResult(t, m, res)
+				if ref == nil {
+					ref = res
+				} else if !sameSamples(ref.Samples, res.Samples) {
+					t.Errorf("parallelism %d changed samples", par)
+				}
+			}
+			// Tracing and metrics attached: still bit-identical.
+			reg := obs.NewRegistry()
+			ctx := obs.NewContext(context.Background(), obs.NewCollector(reg))
+			req := base
+			req.Parallelism = 4
+			res, err := dev.Solve(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameSamples(ref.Samples, res.Samples) {
+				t.Error("observability sink changed samples")
+			}
+		})
+	}
+}
+
+// TestDeviceConformanceTimeBudget pins that a tiny TimeBudget cuts an
+// otherwise enormous sweep budget short while still returning valid samples.
+func TestDeviceConformanceTimeBudget(t *testing.T) {
+	m := conformanceModel()
+	for _, dev := range devices() {
+		t.Run(deviceName(dev), func(t *testing.T) {
+			// 2M sweeps is ~20× what 50ms can execute, while keeping the
+			// precomputed temperature schedule small enough to build fast.
+			req := solver.Request{
+				Model: m, Runs: 2, Sweeps: 2_000_000, Seed: 3,
+				TimeBudget: 50 * time.Millisecond, Parallelism: -1,
+			}
+			start := time.Now()
+			res, err := dev.Solve(context.Background(), req)
+			elapsed := time.Since(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkResult(t, m, res)
+			// Generous bound: the budget is 50ms; devices check the deadline
+			// at sweep granularity, so allow a wide margin before failing.
+			if elapsed > 5*time.Second {
+				t.Errorf("TimeBudget ignored: ran %v for a 50ms budget", elapsed)
+			}
+		})
+	}
+}
+
+// TestDeviceConformanceCancellation pins the Solver doc contract:
+// cancellation mid-solve returns the best state found so far, not an error.
+func TestDeviceConformanceCancellation(t *testing.T) {
+	m := conformanceModel()
+	for _, dev := range devices() {
+		t.Run(deviceName(dev), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			req := solver.Request{Model: m, Runs: 2, Sweeps: 2_000_000, Seed: 3, Parallelism: -1}
+			start := time.Now()
+			res, err := dev.Solve(ctx, req)
+			elapsed := time.Since(start)
+			if err != nil {
+				t.Fatalf("cancellation must yield best-so-far, got error: %v", err)
+			}
+			checkResult(t, m, res)
+			if elapsed > 5*time.Second {
+				t.Errorf("cancellation ignored: ran %v past a 30ms context", elapsed)
+			}
+		})
+	}
+}

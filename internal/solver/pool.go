@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a request's Parallelism field into a worker count:
@@ -33,6 +34,60 @@ func RunSeeds(seed int64, runs int) []int64 {
 		seeds[i] = rng.Int63()
 	}
 	return seeds
+}
+
+// PoolStats summarises one or more observed ForEachRun dispatches: how
+// much work the pool executed (Busy, summed across runs) against its
+// theoretical capacity (Workers × Wall). Devices aggregate the stats of a
+// solve's dispatches and hand them to the observability sink; the
+// disabled-sink path keeps calling the untimed ForEachRun, so observation
+// is strictly opt-in.
+type PoolStats struct {
+	Runs, Workers int
+	Busy, Wall    time.Duration
+}
+
+// Utilisation returns Busy / (Workers × Wall) — 1.0 means every worker was
+// busy for the whole dispatch; values well below 1 mean the pool was
+// starved (fewer runs than workers, or one straggler run).
+func (p PoolStats) Utilisation() float64 {
+	if p.Wall <= 0 || p.Workers <= 0 {
+		return 0
+	}
+	return p.Busy.Seconds() / (p.Wall.Seconds() * float64(p.Workers))
+}
+
+// Add accumulates q into p (runs, busy and wall sum; workers takes the
+// maximum), letting per-segment dispatches (tempering exchanges, VA
+// lockstep sweeps) report one aggregate per solve.
+func (p *PoolStats) Add(q PoolStats) {
+	p.Runs += q.Runs
+	if q.Workers > p.Workers {
+		p.Workers = q.Workers
+	}
+	p.Busy += q.Busy
+	p.Wall += q.Wall
+}
+
+// ForEachRunStats is ForEachRun plus per-run busy-time measurement. The
+// dispatch order, worker count and fn invocations are identical to
+// ForEachRun — only two time.Now calls per run are added — so results stay
+// bit-identical whether or not a solve is being observed.
+func ForEachRunStats(runs, workers int, fn func(run int)) PoolStats {
+	if workers > runs {
+		workers = runs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	var busy atomic.Int64
+	ForEachRun(runs, workers, func(run int) {
+		t0 := time.Now()
+		fn(run)
+		busy.Add(int64(time.Since(t0)))
+	})
+	return PoolStats{Runs: runs, Workers: workers, Busy: time.Duration(busy.Load()), Wall: time.Since(start)}
 }
 
 // ForEachRun invokes fn(run) exactly once for every run in [0, runs),

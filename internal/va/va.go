@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"incranneal/internal/obs"
 	"incranneal/internal/qubo"
 	"incranneal/internal/solver"
 )
@@ -116,6 +117,19 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 	n := m.NumVariables()
 	workers := solver.Workers(req.Parallelism)
 	performed := 0
+	// Observability: the lockstep population is one logical anneal, so a
+	// single RunTrace covers the solve. Per-replica flip counters and the
+	// dispatch-stats aggregation exist only when a sink is present; the
+	// disabled path allocates exactly what the uninstrumented code did.
+	sink := obs.FromContext(ctx)
+	var rt *obs.RunTrace
+	var flipCounts []int64
+	var pool solver.PoolStats
+	if sink.Enabled() {
+		rt = sink.StartRun("va", obs.LabelFromContext(ctx), 0)
+		flipCounts = make([]int64, len(replicas))
+		rt.Observe(0, best.Energy())
+	}
 	for sweep := 0; sweep < sweeps; sweep++ {
 		if solver.Interrupted(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
 			break
@@ -125,22 +139,40 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 		// temperature — the lockstep pattern the vector engine pipelines —
 		// and the replicas are mutually independent within a sweep, so the
 		// worker pool processes them concurrently between barriers.
-		solver.ForEachRun(len(replicas), workers, func(i int) {
+		body := func(i int) {
 			st, r := replicas[i], rngs[i]
 			for v := 0; v < n; v++ {
 				delta := st.DeltaEnergy(v)
 				if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
 					st.Flip(v)
+					if flipCounts != nil {
+						flipCounts[i]++
+					}
 				}
 			}
-		})
+		}
+		if rt != nil {
+			pool.Add(solver.ForEachRunStats(len(replicas), workers, body))
+		} else {
+			solver.ForEachRun(len(replicas), workers, body)
+		}
 		performed++
 		for _, st := range replicas {
-			best.Observe(st)
+			if best.Observe(st) {
+				rt.Observe(performed, best.Energy())
+			}
 		}
 		if resample > 0 && sweep > 0 && sweep%resample == 0 {
 			resamplePopulation(replicas, rng)
 		}
+	}
+	if rt != nil {
+		var flips int64
+		for _, f := range flipCounts {
+			flips += f
+		}
+		rt.Finish(performed, flips, int64(performed)*int64(len(replicas))*int64(n))
+		sink.Pool("va", obs.LabelFromContext(ctx), pool.Runs, pool.Workers, pool.Busy, pool.Wall)
 	}
 	runs := req.Runs
 	if runs <= 0 || runs > len(replicas) {
