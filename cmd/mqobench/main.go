@@ -18,6 +18,12 @@
 //
 // SIGINT flushes the partial trace before exiting, so interrupted long runs
 // keep everything recorded so far.
+//
+// Resilience: -retries, -solve-timeout, -breaker and -fallback wrap every
+// annealing device in retry/timeout/circuit-breaker/fallback middleware;
+// -inject-faults applies a deterministic fault schedule to the primary
+// devices (chaos benchmarking — the phases report's "deg" column counts the
+// partial problems completed by greedy repair); -fail-fast aborts instead.
 package main
 
 import (
@@ -46,6 +52,13 @@ func main() {
 		trace     = flag.String("trace", "", "write a JSONL pipeline trace to this file")
 		metrics   = flag.Bool("metrics", false, "print a metrics summary on exit")
 		pprofAddr = flag.String("pprof", "", "serve pprof/expvar on this address (e.g. :6060)")
+
+		retries      = flag.Int("retries", 0, "re-attempts per device solve on transient failures (0 = no retry layer)")
+		solveTimeout = flag.Duration("solve-timeout", 0, "per-solve deadline; expiry keeps the device's best-so-far samples (0 = none)")
+		breaker      = flag.Int("breaker", 0, "consecutive solve failures tripping the per-device circuit breaker (0 = no breaker)")
+		fallback     = flag.String("fallback", "", "comma-separated fallback devices tried after the primary (da, da-pt, sa, hqa, va)")
+		injectFaults = flag.String("inject-faults", "", "deterministic fault schedule for every primary device, e.g. transient-first=2,terminal-after=4")
+		failFast     = flag.Bool("fail-fast", false, "abort a run on terminal device failure instead of degrading to greedy repair")
 	)
 	flag.Parse()
 
@@ -58,6 +71,20 @@ func main() {
 		cfg.TimeBudget = *timeout
 	}
 	cfg.Parallelism = *workers
+	mw, err := bench.MiddlewareSpec{
+		Retries:      *retries,
+		SolveTimeout: *solveTimeout,
+		Breaker:      *breaker,
+		Fallback:     *fallback,
+		InjectFaults: *injectFaults,
+		Seed:         1,
+		DACapacity:   cfg.DACapacity,
+	}.Middleware()
+	if err != nil {
+		fail(err)
+	}
+	cfg.Middleware = mw
+	cfg.FailFast = *failFast
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

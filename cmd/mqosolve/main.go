@@ -14,6 +14,12 @@
 // Observability: -trace out.jsonl records pipeline trace events, -metrics
 // prints a metrics summary on exit, -pprof :6060 serves net/http/pprof and
 // expvar. SIGINT flushes the partial trace before exiting.
+//
+// Resilience: -retries, -solve-timeout, -breaker and -fallback wrap the
+// annealing device in retry/timeout/circuit-breaker/fallback middleware;
+// -inject-faults applies a deterministic fault schedule to the primary
+// device (for chaos testing); -fail-fast aborts on terminal device failure
+// instead of completing the affected partial problems by greedy repair.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"incranneal/internal/baseline"
+	"incranneal/internal/bench"
 	"incranneal/internal/core"
 	"incranneal/internal/da"
 	"incranneal/internal/hqa"
@@ -49,6 +56,13 @@ func main() {
 		trace     = flag.String("trace", "", "write a JSONL pipeline trace to this file")
 		metrics   = flag.Bool("metrics", false, "print a metrics summary on exit")
 		pprofAddr = flag.String("pprof", "", "serve pprof/expvar on this address (e.g. :6060)")
+
+		retries      = flag.Int("retries", 0, "re-attempts per device solve on transient failures (0 = no retry layer)")
+		solveTimeout = flag.Duration("solve-timeout", 0, "per-solve deadline; expiry keeps the device's best-so-far samples (0 = none)")
+		breaker      = flag.Int("breaker", 0, "consecutive solve failures tripping the per-device circuit breaker (0 = no breaker)")
+		fallback     = flag.String("fallback", "", "comma-separated fallback devices tried after the primary (da, da-pt, sa, hqa, va)")
+		injectFaults = flag.String("inject-faults", "", "deterministic fault schedule for the primary device, e.g. transient-first=2,terminal-after=4,corrupt")
+		failFast     = flag.Bool("fail-fast", false, "abort on terminal device failure instead of degrading to greedy repair")
 	)
 	flag.Parse()
 
@@ -71,8 +85,20 @@ func main() {
 	if sink.Enabled() {
 		ctx = obs.NewContext(ctx, sink)
 	}
+	mw, err := bench.MiddlewareSpec{
+		Retries:      *retries,
+		SolveTimeout: *solveTimeout,
+		Breaker:      *breaker,
+		Fallback:     *fallback,
+		InjectFaults: *injectFaults,
+		Seed:         *seed,
+		DACapacity:   *capacity,
+	}.Middleware()
+	if err != nil {
+		fail(err)
+	}
 	start := time.Now()
-	sol, cost, stats, err := run(ctx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout)
+	sol, cost, stats, err := run(ctx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout, mw, *failFast)
 	if err != nil {
 		// SIGINT cancels ctx mid-solve; flush whatever the trace recorded
 		// before reporting the interrupt.
@@ -100,8 +126,8 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, sweeps int, seed int64, timeout time.Duration) (*mqo.Solution, float64, string, error) {
-	copt := core.Options{Capacity: capacity, Runs: runs, TotalSweeps: sweeps, Seed: seed}
+func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, sweeps int, seed int64, timeout time.Duration, mw func(solver.Solver) solver.Solver, failFast bool) (*mqo.Solution, float64, string, error) {
+	copt := core.Options{Capacity: capacity, Runs: runs, TotalSweeps: sweeps, Seed: seed, FailFast: failFast}
 	bopt := baseline.Options{Seed: seed, TimeBudget: timeout}
 	annealOutcome := func(out *core.Outcome, err error) (*mqo.Solution, float64, string, error) {
 		if err != nil {
@@ -109,6 +135,16 @@ func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, 
 		}
 		stats := fmt.Sprintf("partitions: %d\ndiscarded:  %.2f (savings crossing partitions)\nreapplied:  %.2f (via DSS)\nsweeps:     %d\n",
 			out.NumPartitions, out.DiscardedSavings, out.ReappliedSavings, out.Sweeps)
+		if len(out.Degradations) > 0 {
+			stats += fmt.Sprintf("degraded:   %d partial problem(s) completed by greedy repair\n", len(out.Degradations))
+			for _, d := range out.Degradations {
+				scope := fmt.Sprintf("sub %d", d.Sub)
+				if d.Sub < 0 {
+					scope = "whole problem"
+				}
+				stats += fmt.Sprintf("  %s on %s after %d attempt(s): %s\n", scope, d.Device, d.Attempts, d.Reason)
+			}
+		}
 		return out.Solution, out.Cost, stats, nil
 	}
 	baselineOutcome := func(res *baseline.Result, err error) (*mqo.Solution, float64, string, error) {
@@ -117,33 +153,44 @@ func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, 
 		}
 		return res.Solution, res.Cost, fmt.Sprintf("iterations: %d\n", res.Iterations), nil
 	}
+	// The annealing algorithms share the device middleware path; wrap is
+	// applied after the device is chosen, so -retries/-fallback/-inject-
+	// faults compose with every device. The partitioning phase reuses the
+	// wrapped device (PartitionSolver is nil), so bisection solves are
+	// protected too.
+	wrap := func(dev solver.Solver) solver.Solver {
+		if mw != nil {
+			return mw(dev)
+		}
+		return dev
+	}
 	switch algorithm {
 	case "da-incremental":
-		copt.Device = &da.Solver{}
+		copt.Device = wrap(&da.Solver{})
 		return annealOutcome(core.SolveIncremental(ctx, p, copt))
 	case "da-parallel":
-		copt.Device = &da.Solver{}
+		copt.Device = wrap(&da.Solver{})
 		return annealOutcome(core.SolveParallel(ctx, p, copt))
 	case "da-default":
-		copt.Device = &da.Solver{}
+		copt.Device = wrap(&da.Solver{})
 		return annealOutcome(core.SolveDefault(ctx, p, copt))
 	case "da-pt":
-		copt.Device = &ptSolver{Solver: &da.Solver{}}
+		copt.Device = wrap(&ptSolver{Solver: &da.Solver{}})
 		return annealOutcome(core.SolveIncremental(ctx, p, copt))
 	case "va":
-		copt.Device = &va.Solver{}
+		copt.Device = wrap(&va.Solver{})
 		return annealOutcome(core.SolveIncremental(ctx, p, copt))
 	case "sa-default":
-		copt.Device = &sa.Solver{}
+		copt.Device = wrap(&sa.Solver{})
 		return annealOutcome(core.SolveDefault(ctx, p, copt))
 	case "sa-incremental":
-		copt.Device = &sa.Solver{}
+		copt.Device = wrap(&sa.Solver{})
 		if copt.Capacity == 0 {
 			copt.Capacity = da.HardwareCapacity
 		}
 		return annealOutcome(core.SolveIncremental(ctx, p, copt))
 	case "hqa":
-		copt.Device = &hqa.Solver{}
+		copt.Device = wrap(&hqa.Solver{})
 		if copt.Capacity == 0 {
 			copt.Capacity = da.HardwareCapacity
 		}

@@ -49,7 +49,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	best := res.Best()
+	best, ok := res.Best()
+	if !ok {
+		fail(fmt.Errorf("device returned no samples"))
+	}
 	fmt.Printf("device:    %s\n", name)
 	fmt.Printf("variables: %d (%d quadratic terms)\n", m.NumVariables(), m.NumTerms())
 	fmt.Printf("energy:    %g\n", best.Energy)

@@ -133,6 +133,12 @@ type Options struct {
 	// PostProcessParses configures Algorithm 1 (0 = the paper's 4 parses,
 	// negative disables post-processing).
 	PostProcessParses int
+	// FailFast aborts the solve on a terminal device failure instead of
+	// completing the affected partial problem by deterministic greedy
+	// repair. With the default (false), failures are recorded in
+	// Outcome.Degradations and the solve always returns a complete,
+	// valid solution.
+	FailFast bool
 }
 
 func (o Options) device() solver.Solver {
@@ -165,6 +171,7 @@ func (o Options) coreOptions() core.Options {
 		Parallelism:       o.Parallelism,
 		DisableDSS:        o.DisableDSS,
 		PostProcessParses: o.PostProcessParses,
+		FailFast:          o.FailFast,
 	}
 }
 

@@ -155,8 +155,12 @@ func AblationLagrange(ctx context.Context, cfg Config, scale Scale) (*Report, er
 			if err != nil {
 				return nil, err
 			}
+			best, ok := res.Best()
+			if !ok {
+				return nil, fmt.Errorf("ablation: device returned no samples")
+			}
 			in1 := make([]bool, g.NumNodes())
-			for i, x := range res.Best().Assignment {
+			for i, x := range best.Assignment {
 				in1[i] = x != 0
 			}
 			r.AddRow(p.Name, fmt.Sprintf("%.2f·ω_A", s),
@@ -209,7 +213,11 @@ func AblationDigitalAnnealer(ctx context.Context, cfg Config, scale Scale) (*Rep
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%.1f", res.Best().Energy))
+			best, ok := res.Best()
+			if !ok {
+				return nil, fmt.Errorf("ablation: device returned no samples")
+			}
+			row = append(row, fmt.Sprintf("%.1f", best.Energy))
 		}
 		r.AddRow(row...)
 	}

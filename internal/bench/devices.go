@@ -69,8 +69,12 @@ func DeviceShootout(ctx context.Context, cfg Config, scale Scale) (*Report, erro
 			if err != nil {
 				return nil, fmt.Errorf("device %s: %w", d.name, err)
 			}
+			best, ok := res.Best()
+			if !ok {
+				return nil, fmt.Errorf("device %s: no samples", d.name)
+			}
 			row = append(row,
-				fmt.Sprintf("%.1f", res.Best().Energy),
+				fmt.Sprintf("%.1f", best.Energy),
 				time.Since(start).Round(time.Millisecond).String())
 		}
 		r.AddRow(row...)

@@ -354,7 +354,7 @@ func PhaseReport(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 		ID:      "phases",
 		Title:   fmt.Sprintf("Phase timings of the DA processing strategies, %d PPQ (%s scale)", scale.StandardPPQ, scale.Name),
 		Header:  cfg.headerLines(scale),
-		Columns: []string{"strategy", "queries", "total", "partition", "encode", "anneal", "decode+merge", "dss", "cost"},
+		Columns: []string{"strategy", "queries", "total", "partition", "encode", "anneal", "decode+merge", "dss", "deg", "cost"},
 	}
 	algos := ProcessingRoster(cfg)
 	for _, q := range scale.QuerySet {
@@ -364,7 +364,7 @@ func PhaseReport(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 		}
 		for _, m := range RunInstance(ctx, algos, p, classSeed("phasesrun", q, 0, 0)) {
 			if m.Err != nil {
-				r.AddRow(m.Algorithm, fmt.Sprintf("%d", q), "err", "—", "—", "—", "—", "—", "—")
+				r.AddRow(m.Algorithm, fmt.Sprintf("%d", q), "err", "—", "—", "—", "—", "—", "—", "—")
 				continue
 			}
 			r.AddRow(m.Algorithm, fmt.Sprintf("%d", q),
@@ -372,6 +372,7 @@ func PhaseReport(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 				fmtDur(m.Timings.Partition), fmtDur(m.Timings.Encode),
 				fmtDur(m.Timings.Anneal), fmtDur(m.Timings.Decode),
 				fmtDur(m.Timings.DSS),
+				fmt.Sprintf("%d", m.Degraded),
 				fmt.Sprintf("%.0f", m.Cost))
 		}
 	}

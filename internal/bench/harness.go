@@ -16,6 +16,7 @@ import (
 	"incranneal/internal/hqa"
 	"incranneal/internal/mqo"
 	"incranneal/internal/sa"
+	"incranneal/internal/solver"
 )
 
 // Config budgets the experiment roster. The zero value is usable and
@@ -51,6 +52,22 @@ type Config struct {
 	// identical for every setting, so reports stay comparable across
 	// machines.
 	Parallelism int
+	// Middleware, when non-nil, wraps every annealing device the roster
+	// constructs (fault injection, retry/timeout/breaker/fallback stacks —
+	// see MiddlewareSpec). Baselines without a device are unaffected. With
+	// no faults injected the wrapped rosters score bit-identically.
+	Middleware func(solver.Solver) solver.Solver
+	// FailFast forwards to core.Options.FailFast: abort a run on terminal
+	// device failure instead of degrading to greedy repair.
+	FailFast bool
+}
+
+// wrap applies the configured device middleware.
+func (c Config) wrap(dev solver.Solver) solver.Solver {
+	if c.Middleware != nil {
+		return c.Middleware(dev)
+	}
+	return dev
 }
 
 // Paper returns the configuration matching the paper's experimental setup
@@ -119,6 +136,9 @@ func (c Config) headerLines(scale Scale) []string {
 type Score struct {
 	Cost    float64
 	Timings core.PhaseTimings
+	// Degraded counts partial problems completed by greedy repair after a
+	// terminal device failure (see core.Outcome.Degradations).
+	Degraded int
 }
 
 // Algorithm is one competing MQO approach of the evaluation.
@@ -200,13 +220,14 @@ func SADefault(cfg Config) Algorithm {
 		Name: "SA (Default)",
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveDefault(ctx, p, core.Options{
-				Device: &sa.Solver{}, Runs: cfg.Runs,
+				Device: cfg.wrap(&sa.Solver{}), Runs: cfg.Runs,
 				TotalSweeps: saSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
+				FailFast: cfg.FailFast,
 			})
 			if err != nil {
 				return Score{}, err
 			}
-			return Score{Cost: out.Cost, Timings: out.Timings}, nil
+			return Score{Cost: out.Cost, Timings: out.Timings, Degraded: len(out.Degradations)}, nil
 		},
 	}
 }
@@ -220,13 +241,14 @@ func SAIncremental(cfg Config) Algorithm {
 		Name: "SA (Incremental)",
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveIncremental(ctx, p, core.Options{
-				Device: &sa.Solver{}, Capacity: cfg.DACapacity, Runs: cfg.Runs,
+				Device: cfg.wrap(&sa.Solver{}), Capacity: cfg.DACapacity, Runs: cfg.Runs,
 				TotalSweeps: saSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
+				FailFast: cfg.FailFast,
 			})
 			if err != nil {
 				return Score{}, err
 			}
-			return Score{Cost: out.Cost, Timings: out.Timings}, nil
+			return Score{Cost: out.Cost, Timings: out.Timings, Degraded: len(out.Degradations)}, nil
 		},
 	}
 }
@@ -239,13 +261,14 @@ func HQAIncremental(cfg Config) Algorithm {
 		Name: "HQA",
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveIncremental(ctx, p, core.Options{
-				Device: &hqa.Solver{}, Capacity: cfg.DACapacity, Runs: 1,
+				Device: cfg.wrap(&hqa.Solver{}), Capacity: cfg.DACapacity, Runs: 1,
 				Seed: seed, Parallelism: cfg.Parallelism,
+				FailFast: cfg.FailFast,
 			})
 			if err != nil {
 				return Score{}, err
 			}
-			return Score{Cost: out.Cost, Timings: out.Timings}, nil
+			return Score{Cost: out.Cost, Timings: out.Timings, Degraded: len(out.Degradations)}, nil
 		},
 	}
 }
@@ -258,13 +281,14 @@ func DADefault(cfg Config) Algorithm {
 		Name: "DA (Default)",
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveDefault(ctx, p, core.Options{
-				Device: &da.Solver{CapacityVars: cfg.DACapacity}, Runs: cfg.Runs,
+				Device: cfg.wrap(&da.Solver{CapacityVars: cfg.DACapacity}), Runs: cfg.Runs,
 				TotalSweeps: daSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
+				FailFast: cfg.FailFast,
 			})
 			if err != nil {
 				return Score{}, err
 			}
-			return Score{Cost: out.Cost, Timings: out.Timings}, nil
+			return Score{Cost: out.Cost, Timings: out.Timings, Degraded: len(out.Degradations)}, nil
 		},
 	}
 }
@@ -276,13 +300,14 @@ func DAParallel(cfg Config) Algorithm {
 		Name: "DA (Parallel)",
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveParallel(ctx, p, core.Options{
-				Device: &da.Solver{CapacityVars: cfg.DACapacity}, Runs: cfg.Runs,
+				Device: cfg.wrap(&da.Solver{CapacityVars: cfg.DACapacity}), Runs: cfg.Runs,
 				TotalSweeps: daSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
+				FailFast: cfg.FailFast,
 			})
 			if err != nil {
 				return Score{}, err
 			}
-			return Score{Cost: out.Cost, Timings: out.Timings}, nil
+			return Score{Cost: out.Cost, Timings: out.Timings, Degraded: len(out.Degradations)}, nil
 		},
 	}
 }
@@ -295,13 +320,14 @@ func DAIncremental(cfg Config) Algorithm {
 		Name: "DA (Incremental)",
 		Run: func(ctx context.Context, p *mqo.Problem, seed int64) (Score, error) {
 			out, err := core.SolveIncremental(ctx, p, core.Options{
-				Device: &da.Solver{CapacityVars: cfg.DACapacity}, Runs: cfg.Runs,
+				Device: cfg.wrap(&da.Solver{CapacityVars: cfg.DACapacity}), Runs: cfg.Runs,
 				TotalSweeps: daSweeps(cfg, p), Seed: seed, Parallelism: cfg.Parallelism,
+				FailFast: cfg.FailFast,
 			})
 			if err != nil {
 				return Score{}, err
 			}
-			return Score{Cost: out.Cost, Timings: out.Timings}, nil
+			return Score{Cost: out.Cost, Timings: out.Timings, Degraded: len(out.Degradations)}, nil
 		},
 	}
 }
@@ -331,7 +357,10 @@ type Measurement struct {
 	// Timings breaks Elapsed down by pipeline phase for the pipeline-based
 	// approaches (zero for the baselines).
 	Timings core.PhaseTimings
-	Err     error
+	// Degraded counts greedy-repaired partial problems (device failures
+	// absorbed by graceful degradation).
+	Degraded int
+	Err      error
 }
 
 // RunInstance executes every algorithm on p and fills in normalised costs.
@@ -342,7 +371,7 @@ func RunInstance(ctx context.Context, algos []Algorithm, p *mqo.Problem, seed in
 	for i, a := range algos {
 		start := time.Now()
 		score, err := a.Run(ctx, p, seed+int64(i)*7919)
-		ms[i] = Measurement{Algorithm: a.Name, Instance: p.Name, Cost: score.Cost, Elapsed: time.Since(start), Timings: score.Timings, Err: err}
+		ms[i] = Measurement{Algorithm: a.Name, Instance: p.Name, Cost: score.Cost, Elapsed: time.Since(start), Timings: score.Timings, Degraded: score.Degraded, Err: err}
 		if err == nil && (!haveBest || score.Cost < best) {
 			best = score.Cost
 			haveBest = true

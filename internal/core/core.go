@@ -65,6 +65,11 @@ type Options struct {
 	// strategy (ablation): partial problems are still processed
 	// sequentially and merged, but discarded savings are never re-applied.
 	DisableDSS bool
+	// FailFast restores the pre-degradation contract: a terminal device
+	// failure aborts the solve with an error instead of completing the
+	// affected partial problem by greedy repair. Also forwarded to the
+	// partitioning phase (see partition.Options.FailFast).
+	FailFast bool
 }
 
 // Outcome reports a completed MQO solve.
@@ -90,6 +95,11 @@ type Outcome struct {
 	Elapsed time.Duration
 	// Timings breaks Elapsed down by pipeline phase.
 	Timings PhaseTimings
+	// Degradations lists the partial problems whose device solves failed
+	// terminally and were completed by greedy repair instead, in
+	// partial-problem order. Empty for a fully-annealed solve; see
+	// Options.FailFast to abort on failure instead.
+	Degradations []Degradation
 }
 
 // PhaseTimings attributes wall-clock time to the pipeline phases. For
@@ -148,6 +158,7 @@ func (o Options) partitionProblem(ctx context.Context, p *mqo.Problem) (*partiti
 		PostProcessParses: o.PostProcessParses,
 		MinPartFraction:   o.MinPartFraction,
 		Parallelism:       o.Parallelism,
+		FailFast:          o.FailFast,
 	})
 }
 
@@ -205,7 +216,14 @@ func solveEncoded(ctx context.Context, dev solver.Solver, enc *encoding.MQOEncod
 	best, bestCost, repaired, err := bestDecoded(enc, res.Samples)
 	st.decode = time.Since(t0)
 	if err != nil {
-		return nil, 0, st, err
+		// Shape mismatches are pipeline bugs, not device outages: mark them
+		// so the degradation paths re-raise instead of repairing them away.
+		return nil, 0, st, &pipelineError{err}
+	}
+	if best == nil {
+		// The device "succeeded" with zero samples (e.g. cancelled before
+		// its first sweep, or a fault-injected empty result).
+		return nil, res.Sweeps, st, fmt.Errorf("core: device %s returned no samples", dev.Name())
 	}
 	if sink.Enabled() {
 		sink.Emit(obs.Event{

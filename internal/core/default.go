@@ -41,8 +41,23 @@ func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, e
 		res, err = ls.SolveLarge(ctx, req)
 	}
 	tm.Anneal = time.Since(annealStart)
+	var degs []Degradation
 	if err != nil {
-		return nil, err
+		if opt.FailFast {
+			return nil, err
+		}
+		var bestSol *mqo.Solution
+		var d Degradation
+		bestSol, d = degrade(ctx, p, -1, opt.Device.Name(), err)
+		degs = append(degs, d)
+		out, err := finalize(p, bestSol, "default", start)
+		if err != nil {
+			return nil, err
+		}
+		out.NumPartitions = 1
+		out.Timings = tm
+		out.Degradations = degs
+		return out, nil
 	}
 	sink := obs.FromContext(ctx)
 	if sink.Enabled() {
@@ -56,6 +71,15 @@ func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, e
 	tm.Decode = time.Since(decStart)
 	if err != nil {
 		return nil, err
+	}
+	if bestSol == nil {
+		if opt.FailFast {
+			return nil, fmt.Errorf("core: device %s returned no samples", opt.Device.Name())
+		}
+		var d Degradation
+		bestSol, d = degrade(ctx, p, -1, opt.Device.Name(),
+			fmt.Errorf("core: device %s returned no samples", opt.Device.Name()))
+		degs = append(degs, d)
 	}
 	if sink.Enabled() {
 		sink.Emit(obs.Event{
@@ -74,5 +98,6 @@ func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, e
 	out.NumPartitions = 1
 	out.Sweeps = res.Sweeps
 	out.Timings = tm
+	out.Degradations = degs
 	return out, nil
 }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
+)
+
+// Degradation records one partial problem whose device solve failed
+// terminally and was completed by deterministic greedy repair instead. The
+// pipeline keeps going — the incumbent solution, DSS state and the
+// remaining partial problems are untouched — so one dead device degrades
+// solution quality instead of failing the whole optimisation.
+type Degradation struct {
+	// Sub is the partial-problem index, or -1 when the whole unpartitioned
+	// problem degraded.
+	Sub int
+	// Device names the solver (or fallback chain) that failed.
+	Device string
+	// Attempts is the number of device solve attempts consumed, including
+	// retries and fallback devices when the resilience middleware is in use.
+	Attempts int
+	// Reason is the final error's text.
+	Reason string
+}
+
+// pipelineError marks failures of the pipeline itself — sample/problem
+// shape mismatches, merge conflicts — which indicate a bug rather than a
+// device outage. They are never degraded away.
+type pipelineError struct{ err error }
+
+func (e *pipelineError) Error() string { return e.err.Error() }
+func (e *pipelineError) Unwrap() error { return e.err }
+
+func isPipelineError(err error) bool {
+	var pe *pipelineError
+	return errors.As(err, &pe)
+}
+
+// attemptsOf extracts a solve-attempt count recorded by the resilience
+// middleware (structurally, so core does not import it), defaulting to 1.
+func attemptsOf(err error) int {
+	var ae interface{ Attempts() int }
+	if errors.As(err, &ae) {
+		return ae.Attempts()
+	}
+	return 1
+}
+
+// degrade builds the Degradation record for sub-problem i (or -1) and the
+// greedy-repair local solution of local, emitting the obs "degrade" event.
+// For the incremental strategy, DSS has already folded savings towards
+// selected plans into local's costs, so the greedy completion is
+// incumbent-aware — it picks each query's lowest *adjusted* cost plan.
+func degrade(ctx context.Context, local *mqo.Problem, i int, device string, cause error) (*mqo.Solution, Degradation) {
+	sol := mqo.Repair(local, make([]bool, local.NumPlans()))
+	d := Degradation{Sub: i, Device: device, Attempts: attemptsOf(cause), Reason: cause.Error()}
+	if sink := obs.FromContext(ctx); sink.Enabled() {
+		sink.Emit(obs.Event{
+			Name: "degrade", Device: device, Label: obs.LabelFromContext(ctx),
+			Run: d.Attempts, N: local.NumQueries(),
+		})
+		if reg := sink.Metrics(); reg != nil {
+			reg.Counter("core.degraded").Add(1)
+		}
+	}
+	return sol, d
+}

@@ -68,6 +68,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	sweeps := 0
 	var reapplied float64
 	var tm PhaseTimings
+	var degs []Degradation
 	// pending[i] tracks the not-yet-applied discarded savings of subs[i];
 	// DSS consumes a saving when it adjusts a plan cost, so the repeated
 	// passes of Algorithm 3 never double-apply it. dirty[i] is set whenever a
@@ -120,7 +121,16 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 		best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), opt.Parallelism)
 		specWG.Wait()
 		if err != nil {
-			return nil, err
+			if opt.FailFast || isPipelineError(err) {
+				return nil, err
+			}
+			// Graceful degradation: the device is gone for this partial
+			// problem, but the incumbent and the remaining sub-problems are
+			// fine. Complete this one greedily on its DSS-adjusted costs and
+			// carry on.
+			var d Degradation
+			best, d = degrade(subCtx, sub.Local, i, opt.Device.Name(), err)
+			degs = append(degs, d)
 		}
 		sweeps += performed
 		tm.Anneal += st.anneal
@@ -196,6 +206,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	out.ReappliedSavings = reapplied
 	out.Sweeps = sweeps
 	out.Timings = tm
+	out.Degradations = degs
 	return out, nil
 }
 
@@ -250,8 +261,14 @@ func solveWhole(ctx context.Context, p *mqo.Problem, opt Options, strategy strin
 	enc := pp.Encoding()
 	tm.Encode = time.Since(encStart)
 	best, performed, st, err := solveEncoded(ctx, opt.Device, enc, opt.Runs, opt.partitionSweeps(1, 0), opt.Seed, opt.Parallelism)
+	var degs []Degradation
 	if err != nil {
-		return nil, err
+		if opt.FailFast || isPipelineError(err) {
+			return nil, err
+		}
+		var d Degradation
+		best, d = degrade(ctx, sub.Local, -1, opt.Device.Name(), err)
+		degs = append(degs, d)
 	}
 	tm.Anneal = st.anneal
 	tm.Decode = st.decode
@@ -268,6 +285,7 @@ func solveWhole(ctx context.Context, p *mqo.Problem, opt Options, strategy strin
 	out.NumPartitions = 1
 	out.Sweeps = performed
 	out.Timings = tm
+	out.Degradations = degs
 	return out, nil
 }
 

@@ -31,6 +31,9 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 	subs := part.SubProblems
 	globals := make([]*mqo.Solution, len(subs))
 	sweepCounts := make([]int, len(subs))
+	// Degradations are collected per index so the report stays in
+	// partial-problem order regardless of goroutine completion order.
+	degs := make([]*Degradation, len(subs))
 	// The worker budget splits across the two levels: partitions run
 	// concurrently out here, and each device solve gets the leftover share
 	// for its run pool, so the total stays near the configured bound
@@ -62,7 +65,14 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 			}
 			best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), perSolve)
 			if err != nil {
-				return err
+				if opt.FailFast || isPipelineError(err) {
+					return err
+				}
+				var d Degradation
+				best, d = degrade(subCtx, sub.Local, i, opt.Device.Name(), err)
+				mu.Lock()
+				degs[i] = &d
+				mu.Unlock()
 			}
 			decStart := time.Now()
 			global, err := sub.ToGlobal(p, best)
@@ -101,5 +111,10 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 	out.DiscardedSavings = part.DiscardedSavings
 	out.Sweeps = sweeps
 	out.Timings = tm
+	for _, d := range degs {
+		if d != nil {
+			out.Degradations = append(out.Degradations, *d)
+		}
+	}
 	return out, nil
 }

@@ -4,56 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"incranneal/internal/da"
+	"incranneal/internal/faultinject"
 	"incranneal/internal/mqo"
+	"incranneal/internal/resilience"
+	"incranneal/internal/sa"
 	"incranneal/internal/solver"
 )
-
-// faultySolver injects device failure modes into the pipeline: invalid
-// samples (constraint violations, as noisy hardware produces) and outright
-// errors after a number of successful solves.
-type faultySolver struct {
-	inner       solver.Solver
-	corrupt     bool // return constraint-violating assignments
-	failAfter   int  // error on the (failAfter+1)-th solve; -1 disables
-	solvesSoFar int
-}
-
-func (f *faultySolver) Name() string  { return "faulty-" + f.inner.Name() }
-func (f *faultySolver) Capacity() int { return f.inner.Capacity() }
-
-var errInjected = errors.New("injected device failure")
-
-func (f *faultySolver) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
-	if f.failAfter >= 0 && f.solvesSoFar >= f.failAfter {
-		return nil, errInjected
-	}
-	f.solvesSoFar++
-	res, err := f.inner.Solve(ctx, req)
-	if err != nil {
-		return nil, err
-	}
-	if f.corrupt {
-		// Corrupt every sample deterministically: flip a pattern of bits,
-		// producing over- and under-selected queries.
-		rng := rand.New(rand.NewSource(req.Seed))
-		for i := range res.Samples {
-			for v := range res.Samples[i].Assignment {
-				if rng.Intn(3) == 0 {
-					res.Samples[i].Assignment[v] ^= 1
-				}
-			}
-			res.Samples[i].Energy = req.Model.Energy(res.Samples[i].Assignment)
-		}
-		res.SortSamples()
-	}
-	return res, nil
-}
 
 func TestPipelineRepairsCorruptedSamples(t *testing.T) {
 	// Even when the device corrupts every sample, the decode-and-repair
@@ -68,7 +29,7 @@ func TestPipelineRepairsCorruptedSamples(t *testing.T) {
 		{"parallel", SolveParallel},
 	} {
 		opt := Options{
-			Device:          &faultySolver{inner: &da.Solver{CapacityVars: 4}, corrupt: true, failAfter: -1},
+			Device:          faultinject.New(&da.Solver{CapacityVars: 4}, faultinject.Config{Corrupt: true, Seed: 3}),
 			PartitionSolver: &da.Solver{CapacityVars: 64},
 			Capacity:        4,
 			Runs:            4,
@@ -84,21 +45,167 @@ func TestPipelineRepairsCorruptedSamples(t *testing.T) {
 		if !out.Solution.Complete() {
 			t.Errorf("%s: incomplete solution from corrupted samples", strat.name)
 		}
+		if len(out.Degradations) != 0 {
+			t.Errorf("%s: sample corruption is repaired, not degraded: %+v", strat.name, out.Degradations)
+		}
 	}
 }
 
-func TestPipelineSurfacesDeviceErrors(t *testing.T) {
+func TestPipelineFailFastSurfacesDeviceErrors(t *testing.T) {
 	p := mqo.PaperExample()
 	opt := Options{
-		Device:          &faultySolver{inner: &da.Solver{CapacityVars: 4}, failAfter: 1},
+		Device:          faultinject.New(&da.Solver{CapacityVars: 4}, faultinject.Config{TerminalAfter: 1}),
 		PartitionSolver: &da.Solver{CapacityVars: 64},
 		Capacity:        4,
 		Runs:            2,
 		Seed:            1,
+		FailFast:        true,
 	}
 	_, err := SolveIncremental(context.Background(), p, opt)
-	if !errors.Is(err, errInjected) {
-		t.Errorf("device failure not surfaced: %v", err)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("device failure not surfaced under FailFast: %v", err)
+	}
+}
+
+// TestPipelineDegradesOnTerminalFailure is the headline robustness
+// acceptance: fault injection kills the primary device terminally mid-run,
+// and every strategy still returns a valid, complete solution with the
+// failures recorded in Outcome.Degradations.
+func TestPipelineDegradesOnTerminalFailure(t *testing.T) {
+	p := mqo.PaperExample()
+	for _, strat := range []struct {
+		name  string
+		solve func(context.Context, *mqo.Problem, Options) (*Outcome, error)
+	}{
+		{"incremental", SolveIncremental},
+		{"parallel", SolveParallel},
+	} {
+		opt := Options{
+			Device:          faultinject.New(&da.Solver{CapacityVars: 4}, faultinject.Config{TerminalAfter: 1}),
+			PartitionSolver: &da.Solver{CapacityVars: 64},
+			Capacity:        4,
+			Runs:            2,
+			Seed:            1,
+			// Sequential sub-problem solves keep the counter-based fault
+			// schedule deterministic for the parallel strategy too.
+			Parallelism: -1,
+		}
+		out, err := strat.solve(context.Background(), p, opt)
+		if err != nil {
+			t.Fatalf("%s did not degrade gracefully: %v", strat.name, err)
+		}
+		if err := out.Solution.Validate(p); err != nil {
+			t.Errorf("%s: degraded solution invalid: %v", strat.name, err)
+		}
+		if !out.Solution.Complete() {
+			t.Errorf("%s: degraded solution incomplete", strat.name)
+		}
+		if len(out.Degradations) == 0 {
+			t.Errorf("%s: terminal device failure left no degradation record", strat.name)
+		}
+		for _, d := range out.Degradations {
+			if d.Sub < 0 || d.Sub >= out.NumPartitions {
+				t.Errorf("%s: degradation names sub %d of %d", strat.name, d.Sub, out.NumPartitions)
+			}
+			if d.Reason == "" || d.Device == "" || d.Attempts < 1 {
+				t.Errorf("%s: underspecified degradation %+v", strat.name, d)
+			}
+		}
+	}
+
+	// The default strategy degrades the whole problem (Sub = -1).
+	out, err := SolveDefault(context.Background(), p, Options{
+		Device: faultinject.New(&da.Solver{CapacityVars: 64}, faultinject.Config{TerminalAfter: 0, TransientFirst: 99}),
+		Runs:   2,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatalf("default did not degrade gracefully: %v", err)
+	}
+	if err := out.Solution.Validate(p); err != nil || !out.Solution.Complete() {
+		t.Errorf("default: degraded solution invalid/incomplete: %v", err)
+	}
+	if len(out.Degradations) != 1 || out.Degradations[0].Sub != -1 {
+		t.Errorf("default degradations = %+v, want one whole-problem record", out.Degradations)
+	}
+}
+
+// TestDegradedOutcomeDeterministic pins the reproducibility contract under
+// faults: the same seed and the same fault schedule produce the identical
+// Outcome — solution, cost and degradation report — for any Parallelism.
+// The incremental strategy issues device solves sequentially, so the
+// injector's counter-based schedule replays identically.
+func TestDegradedOutcomeDeterministic(t *testing.T) {
+	p := mqo.PaperExample()
+	run := func(par int) *Outcome {
+		t.Helper()
+		opt := Options{
+			Device:          faultinject.New(&da.Solver{CapacityVars: 4}, faultinject.Config{TerminalAfter: 1, Seed: 9}),
+			PartitionSolver: &da.Solver{CapacityVars: 64},
+			Capacity:        4,
+			Runs:            2,
+			Seed:            1,
+			Parallelism:     par,
+		}
+		out, err := SolveIncremental(context.Background(), p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(-1)
+	if len(ref.Degradations) == 0 {
+		t.Fatal("fault schedule injected nothing")
+	}
+	for _, par := range []int{-1, 1, 4} {
+		got := run(par)
+		if got.Cost != ref.Cost {
+			t.Errorf("parallelism %d: cost %v, want %v", par, got.Cost, ref.Cost)
+		}
+		for q, pl := range got.Solution.Selected {
+			if pl != ref.Solution.Selected[q] {
+				t.Errorf("parallelism %d: query %d selected plan %d, want %d", par, q, pl, ref.Solution.Selected[q])
+			}
+		}
+		if len(got.Degradations) != len(ref.Degradations) {
+			t.Fatalf("parallelism %d: %d degradations, want %d", par, len(got.Degradations), len(ref.Degradations))
+		}
+		for i := range got.Degradations {
+			if got.Degradations[i] != ref.Degradations[i] {
+				t.Errorf("parallelism %d: degradation %d = %+v, want %+v", par, i, got.Degradations[i], ref.Degradations[i])
+			}
+		}
+	}
+}
+
+// TestResilienceStackMasksTransientFaults runs the full middleware
+// composition inside the pipeline: transient faults on the primary are
+// retried away and a backup device absorbs a terminal kill, so the Outcome
+// reports *no* degradations at all.
+func TestResilienceStackMasksTransientFaults(t *testing.T) {
+	p := mqo.PaperExample()
+	primary := faultinject.New(&da.Solver{CapacityVars: 4}, faultinject.Config{TransientFirst: 1, TerminalAfter: 1})
+	dev := resilience.Wrap([]solver.Solver{primary, &sa.Solver{}}, resilience.Config{
+		Retries: 3, RetryBase: time.Microsecond, BreakerThreshold: 4,
+	})
+	out, err := SolveIncremental(context.Background(), p, Options{
+		Device:          dev,
+		PartitionSolver: &da.Solver{CapacityVars: 64},
+		Capacity:        4,
+		Runs:            2,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatalf("resilient pipeline failed: %v", err)
+	}
+	if err := out.Solution.Validate(p); err != nil || !out.Solution.Complete() {
+		t.Errorf("resilient pipeline solution invalid/incomplete: %v", err)
+	}
+	if len(out.Degradations) != 0 {
+		t.Errorf("middleware should have absorbed every fault, got degradations %+v", out.Degradations)
+	}
+	if st := primary.Stats(); st.Transients == 0 || st.Terminals == 0 {
+		t.Errorf("fault schedule did not exercise the middleware: %+v", st)
 	}
 }
 

@@ -43,7 +43,8 @@ func TestSolvesPaperExampleToOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := enc.Decode(res.Best().Assignment)
+	best, _ := res.Best()
+	sol, err := enc.Decode(best.Assignment)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,8 +76,8 @@ func TestDynamicOffsetEscapesLocalMinimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Best().Energy != -9 {
-		t.Errorf("best energy = %v, want −9", res.Best().Energy)
+	if best, _ := res.Best(); best.Energy != -9 {
+		t.Errorf("best energy = %v, want −9", best.Energy)
 	}
 }
 
@@ -88,7 +89,8 @@ func TestSingleFlipAblationStillSolves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, _ := enc.Decode(res.Best().Assignment)
+	b, _ := res.Best()
+	sol, _ := enc.Decode(b.Assignment)
 	if err := sol.Validate(p); err != nil {
 		t.Fatalf("single-flip produced invalid solution: %v", err)
 	}
@@ -133,7 +135,10 @@ func TestSolveLargeDecomposes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := res.Best()
+	best, ok := res.Best()
+	if !ok {
+		t.Fatal("no samples")
+	}
 	if len(best.Assignment) != 8 {
 		t.Fatalf("assignment length = %d, want 8", len(best.Assignment))
 	}

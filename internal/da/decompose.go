@@ -73,7 +73,12 @@ func (s *Solver) SolveLarge(ctx context.Context, req solver.Request) (*solver.Re
 				return nil, err
 			}
 			sweeps += subRes.Sweeps
-			bestSub := subRes.Best()
+			bestSub, ok := subRes.Best()
+			if !ok {
+				// A cancelled block solve yields no sample; keep the current
+				// assignment and let the outer loop wind down.
+				continue
+			}
 			// Adopt the block assignment when it lowers global energy; the
 			// clamped sub-model's energy differs from the global energy by
 			// a constant, so any sub-improvement is a global improvement.

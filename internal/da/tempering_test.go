@@ -21,7 +21,8 @@ func TestSolvePTReachesPaperOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := enc.Decode(res.Best().Assignment)
+	best, _ := res.Best()
+	sol, err := enc.Decode(best.Assignment)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,8 +82,8 @@ func TestSolvePTEscapesFrustratedModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Best().Energy != -9 {
-		t.Errorf("PT best energy = %v, want −9", res.Best().Energy)
+	if best, _ := res.Best(); best.Energy != -9 {
+		t.Errorf("PT best energy = %v, want −9", best.Energy)
 	}
 }
 
@@ -99,7 +100,9 @@ func TestSolvePTDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Best().Energy != r2.Best().Energy {
+	b1, _ := r1.Best()
+	b2, _ := r2.Best()
+	if b1.Energy != b2.Energy {
 		t.Error("PT non-deterministic for fixed seed")
 	}
 }

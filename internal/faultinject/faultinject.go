@@ -1,0 +1,304 @@
+// Package faultinject wraps any solver.Solver in a deterministic,
+// seed-driven fault injector. It generalises the ad-hoc test doubles the
+// pipeline's robustness tests grew organically and makes the same failure
+// modes available to the conformance suite and the CLIs (-inject-faults):
+//
+//   - transient errors on a schedule (the first N solves, or every Nth),
+//     marked retryable via solver.MarkTransient so the resilience
+//     middleware's Retry layer re-attempts them;
+//   - a terminal kill switch (every solve after the first N successes fails
+//     unrecoverably), modelling a device going away mid-run;
+//   - sample corruption (deterministic bit flips producing the
+//     constraint-violating assignments noisy hardware returns);
+//   - empty results (a solve "succeeds" with zero samples, as a remote
+//     cancellation can);
+//   - artificial latency per solve; and
+//   - capacity flapping (the advertised variable capacity collapses
+//     periodically, as rate-limited cloud devices do).
+//
+// All decisions derive from the configuration and per-solver call counters
+// (plus the request seed for corruption), never from wall-clock time or an
+// unseeded RNG, so a fault schedule replays identically run to run. Counter-
+// based schedules are exactly reproducible whenever device solves are issued
+// sequentially (the incremental and default strategies); under the parallel
+// strategy the counter order follows goroutine interleaving, which is the
+// intended behaviour for chaos testing but not for bit-identity assertions.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"incranneal/internal/solver"
+)
+
+// ErrInjected is the sentinel all injected failures wrap, so tests and
+// callers can errors.Is them apart from genuine device errors.
+var ErrInjected = errors.New("faultinject: injected device failure")
+
+// Config is a deterministic fault schedule. The zero value injects nothing:
+// the wrapper is then a transparent pass-through, which the conformance
+// suite uses to pin that wrapping alone never changes results.
+type Config struct {
+	// Seed drives the corruption RNG (combined with each request's seed).
+	Seed int64
+	// TransientFirst fails the first N solves with a transient error.
+	TransientFirst int
+	// TransientEvery additionally fails every Nth solve (1-based) with a
+	// transient error. 0 disables.
+	TransientEvery int
+	// TerminalAfter kills the device after N successful solves: every later
+	// solve fails terminally. 0 disables.
+	TerminalAfter int
+	// Corrupt flips assignment bits of every returned sample with
+	// probability CorruptRate, recomputing energies and re-sorting — the
+	// infeasible-sample failure mode of real annealing hardware.
+	Corrupt bool
+	// CorruptRate is the per-bit flip probability; 0 means 1/3.
+	CorruptRate float64
+	// EmptyEvery returns a zero-sample result on every Nth solve (1-based).
+	// 0 disables.
+	EmptyEvery int
+	// Latency sleeps this long before each solve (respecting context
+	// cancellation), simulating remote round-trips.
+	Latency time.Duration
+	// FlapEvery makes every Nth Capacity() call (1-based) report a capacity
+	// of 1, simulating a device intermittently refusing large requests.
+	// 0 disables.
+	FlapEvery int
+}
+
+// enabled reports whether the schedule injects anything at all.
+func (c Config) enabled() bool {
+	return c.TransientFirst > 0 || c.TransientEvery > 0 || c.TerminalAfter > 0 ||
+		c.Corrupt || c.EmptyEvery > 0 || c.Latency > 0 || c.FlapEvery > 0
+}
+
+// Stats counts the faults a Solver actually injected.
+type Stats struct {
+	Solves     int // total Solve calls observed
+	Transients int // transient errors injected
+	Terminals  int // terminal errors injected
+	Corrupted  int // results whose samples were corrupted
+	Emptied    int // results emptied of samples
+	Flaps      int // Capacity() calls that reported the flapped capacity
+}
+
+// Solver injects the configured faults around Inner. Safe for concurrent
+// use; the schedule counters are shared across goroutines.
+type Solver struct {
+	Inner solver.Solver
+	Cfg   Config
+
+	mu        sync.Mutex
+	solves    int // Solve calls so far (0-based index of the next call)
+	successes int // inner solves that returned a usable result
+	capCalls  int
+	stats     Stats
+}
+
+// New wraps inner with the fault schedule cfg.
+func New(inner solver.Solver, cfg Config) *Solver {
+	return &Solver{Inner: inner, Cfg: cfg}
+}
+
+// Name tags the inner device so traces show which results passed through
+// the injector.
+func (s *Solver) Name() string { return "faulty(" + s.Inner.Name() + ")" }
+
+// Capacity reports the inner capacity, flapping to 1 on the configured
+// schedule.
+func (s *Solver) Capacity() int {
+	if s.Cfg.FlapEvery <= 0 {
+		return s.Inner.Capacity()
+	}
+	s.mu.Lock()
+	s.capCalls++
+	flap := s.capCalls%s.Cfg.FlapEvery == 0
+	if flap {
+		s.stats.Flaps++
+	}
+	s.mu.Unlock()
+	if flap {
+		return 1
+	}
+	return s.Inner.Capacity()
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (s *Solver) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Solve applies the fault schedule, delegating to the inner device when the
+// current solve is scheduled to succeed.
+func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return s.solve(ctx, req, s.Inner.Solve)
+}
+
+// SolveLarge forwards to the inner device's vendor decomposition under the
+// same fault schedule. Devices without one fail terminally, exactly as the
+// bare device would fail the type assertion.
+func (s *Solver) SolveLarge(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	ls, ok := s.Inner.(solver.LargeSolver)
+	if !ok {
+		return nil, fmt.Errorf("faultinject: device %s offers no default partitioning", s.Inner.Name())
+	}
+	return s.solve(ctx, req, ls.SolveLarge)
+}
+
+func (s *Solver) solve(ctx context.Context, req solver.Request, inner func(context.Context, solver.Request) (*solver.Result, error)) (*solver.Result, error) {
+	s.mu.Lock()
+	idx := s.solves // 0-based
+	s.solves++
+	s.stats.Solves++
+	var fault error
+	switch {
+	case s.Cfg.TerminalAfter > 0 && s.successes >= s.Cfg.TerminalAfter:
+		s.stats.Terminals++
+		fault = fmt.Errorf("%w: terminal, solve %d", ErrInjected, idx)
+	case idx < s.Cfg.TransientFirst,
+		s.Cfg.TransientEvery > 0 && (idx+1)%s.Cfg.TransientEvery == 0:
+		s.stats.Transients++
+		fault = solver.MarkTransient(fmt.Errorf("%w: transient, solve %d", ErrInjected, idx))
+	}
+	empty := fault == nil && s.Cfg.EmptyEvery > 0 && (idx+1)%s.Cfg.EmptyEvery == 0
+	if empty {
+		s.stats.Emptied++
+	}
+	s.mu.Unlock()
+
+	if s.Cfg.Latency > 0 {
+		t := time.NewTimer(s.Cfg.Latency)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+		}
+	}
+	if fault != nil {
+		return nil, fault
+	}
+	if empty {
+		return &solver.Result{}, nil
+	}
+	res, err := inner(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if s.Cfg.Corrupt {
+		s.corrupt(req, res)
+	}
+	s.mu.Lock()
+	s.successes++
+	s.mu.Unlock()
+	return res, nil
+}
+
+// corrupt deterministically flips assignment bits of every sample,
+// producing over- and under-selected queries, then restores the Result
+// invariants (true energies, ascending order).
+func (s *Solver) corrupt(req solver.Request, res *solver.Result) {
+	rate := s.Cfg.CorruptRate
+	if rate <= 0 {
+		rate = 1.0 / 3.0
+	}
+	rng := rand.New(rand.NewSource(s.Cfg.Seed ^ req.Seed))
+	for i := range res.Samples {
+		for v := range res.Samples[i].Assignment {
+			if rng.Float64() < rate {
+				res.Samples[i].Assignment[v] ^= 1
+			}
+		}
+		res.Samples[i].Energy = req.Model.Energy(res.Samples[i].Assignment)
+	}
+	res.SortSamples()
+	s.mu.Lock()
+	s.stats.Corrupted++
+	s.mu.Unlock()
+}
+
+// ParseSpec parses the CLI fault-schedule grammar: a comma-separated list
+// of directives, e.g.
+//
+//	transient-first=2,transient-every=5,terminal-after=8,corrupt,latency=1ms
+//
+// Directives: transient-first=N, transient-every=N, terminal-after=N,
+// corrupt[=RATE], empty-every=N, latency=DURATION, flap-every=N, seed=N.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(tok, "=")
+		intVal := func() (int, error) {
+			if !hasVal {
+				return 0, fmt.Errorf("faultinject: directive %q needs a value", key)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("faultinject: bad value %q for %q", val, key)
+			}
+			return n, nil
+		}
+		var err error
+		switch key {
+		case "transient-first":
+			cfg.TransientFirst, err = intVal()
+		case "transient-every":
+			cfg.TransientEvery, err = intVal()
+		case "terminal-after":
+			cfg.TerminalAfter, err = intVal()
+		case "empty-every":
+			cfg.EmptyEvery, err = intVal()
+		case "flap-every":
+			cfg.FlapEvery, err = intVal()
+		case "seed":
+			var n int
+			n, err = intVal()
+			cfg.Seed = int64(n)
+		case "corrupt":
+			cfg.Corrupt = true
+			if hasVal {
+				cfg.CorruptRate, err = strconv.ParseFloat(val, 64)
+				if err != nil || cfg.CorruptRate <= 0 || cfg.CorruptRate > 1 {
+					err = fmt.Errorf("faultinject: bad corrupt rate %q", val)
+				}
+			}
+		case "latency":
+			if !hasVal {
+				err = fmt.Errorf("faultinject: latency needs a duration")
+			} else {
+				cfg.Latency, err = time.ParseDuration(val)
+			}
+		default:
+			err = fmt.Errorf("faultinject: unknown directive %q", key)
+		}
+		if err != nil {
+			return Config{}, err
+		}
+	}
+	return cfg, nil
+}
+
+// Wrap applies the parsed spec to dev, returning dev unchanged when the
+// spec injects nothing.
+func Wrap(dev solver.Solver, cfg Config) solver.Solver {
+	if !cfg.enabled() {
+		return dev
+	}
+	return New(dev, cfg)
+}

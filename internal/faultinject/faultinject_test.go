@@ -1,0 +1,248 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/sa"
+	"incranneal/internal/solver"
+)
+
+func paperRequest(t *testing.T) (solver.Request, *encoding.MQOEncoding) {
+	t.Helper()
+	p := mqo.PaperExample()
+	enc, err := encoding.EncodeMQO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return solver.Request{Model: enc.Model, Runs: 4, Sweeps: 100, Seed: 7}, enc
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	req, _ := paperRequest(t)
+	inner := &sa.Solver{}
+	wrapped := New(inner, Config{})
+	want, err := inner.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wrapped.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("sample count changed: %d vs %d", len(got.Samples), len(want.Samples))
+	}
+	for i := range got.Samples {
+		if got.Samples[i].Energy != want.Samples[i].Energy {
+			t.Fatalf("sample %d energy changed: %v vs %v", i, got.Samples[i].Energy, want.Samples[i].Energy)
+		}
+	}
+	if wrapped.Name() != "faulty(sa)" {
+		t.Errorf("Name = %q", wrapped.Name())
+	}
+	if Wrap(inner, Config{}) != solver.Solver(inner) {
+		t.Error("Wrap with an empty schedule must return the device unchanged")
+	}
+}
+
+func TestTransientSchedule(t *testing.T) {
+	req, _ := paperRequest(t)
+	s := New(&sa.Solver{}, Config{TransientFirst: 2, TransientEvery: 4})
+	var errs []error
+	for i := 0; i < 8; i++ {
+		_, err := s.Solve(context.Background(), req)
+		errs = append(errs, err)
+	}
+	// Solves 0,1 fail (first two); solves 3 and 7 fail (every 4th, 1-based).
+	wantFail := map[int]bool{0: true, 1: true, 3: true, 7: true}
+	for i, err := range errs {
+		if wantFail[i] {
+			if err == nil {
+				t.Errorf("solve %d succeeded, want transient failure", i)
+				continue
+			}
+			if !errors.Is(err, ErrInjected) || !solver.IsTransient(err) {
+				t.Errorf("solve %d error %v: want transient ErrInjected", i, err)
+			}
+		} else if err != nil {
+			t.Errorf("solve %d failed unexpectedly: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Solves != 8 || st.Transients != 4 || st.Terminals != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTerminalAfterKillsDevice(t *testing.T) {
+	req, _ := paperRequest(t)
+	s := New(&sa.Solver{}, Config{TerminalAfter: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := s.Solve(context.Background(), req); err != nil {
+			t.Fatalf("solve %d failed before the kill point: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		_, err := s.Solve(context.Background(), req)
+		if err == nil {
+			t.Fatal("dead device succeeded")
+		}
+		if solver.IsTransient(err) {
+			t.Errorf("terminal failure marked transient: %v", err)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("terminal failure does not wrap ErrInjected: %v", err)
+		}
+	}
+	if st := s.Stats(); st.Terminals != 3 {
+		t.Errorf("terminals = %d, want 3", st.Terminals)
+	}
+}
+
+func TestCorruptionIsDeterministicAndConsistent(t *testing.T) {
+	req, enc := paperRequest(t)
+	s1 := New(&sa.Solver{}, Config{Corrupt: true, Seed: 11})
+	s2 := New(&sa.Solver{}, Config{Corrupt: true, Seed: 11})
+	r1, err := s1.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Samples) != len(r2.Samples) {
+		t.Fatal("corruption changed sample counts between identical runs")
+	}
+	for i := range r1.Samples {
+		if r1.Samples[i].Energy != r2.Samples[i].Energy {
+			t.Fatal("corruption not deterministic for fixed seeds")
+		}
+	}
+	// Invariants after corruption: energies true, samples sorted.
+	for i, smp := range r1.Samples {
+		if got := enc.Model.Energy(smp.Assignment); got != smp.Energy {
+			t.Errorf("sample %d energy %v, recomputed %v", i, smp.Energy, got)
+		}
+		if i > 0 && smp.Energy < r1.Samples[i-1].Energy {
+			t.Error("corrupted samples not re-sorted")
+		}
+	}
+	// A different injector seed must flip different bits.
+	s3 := New(&sa.Solver{}, Config{Corrupt: true, Seed: 12})
+	r3, err := s3.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(r1.Samples) == len(r3.Samples)
+	if same {
+		for i := range r1.Samples {
+			if r1.Samples[i].Energy != r3.Samples[i].Energy {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different injector seeds produced identical corruption (suspicious)")
+	}
+}
+
+func TestEmptyEveryReturnsNoSamples(t *testing.T) {
+	req, _ := paperRequest(t)
+	s := New(&sa.Solver{}, Config{EmptyEvery: 2})
+	for i := 0; i < 4; i++ {
+		res, err := s.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		_, ok := res.Best()
+		wantEmpty := (i+1)%2 == 0
+		if wantEmpty == ok {
+			t.Errorf("solve %d: samples present=%v, want empty=%v", i, ok, wantEmpty)
+		}
+	}
+	if st := s.Stats(); st.Emptied != 2 {
+		t.Errorf("emptied = %d, want 2", st.Emptied)
+	}
+}
+
+func TestCapacityFlapping(t *testing.T) {
+	inner := &sa.Solver{}
+	s := New(inner, Config{FlapEvery: 3})
+	for i := 1; i <= 9; i++ {
+		got := s.Capacity()
+		if i%3 == 0 {
+			if got != 1 {
+				t.Errorf("call %d capacity = %d, want flapped 1", i, got)
+			}
+		} else if got != inner.Capacity() {
+			t.Errorf("call %d capacity = %d, want %d", i, got, inner.Capacity())
+		}
+	}
+	if st := s.Stats(); st.Flaps != 3 {
+		t.Errorf("flaps = %d, want 3", st.Flaps)
+	}
+}
+
+func TestLatencyRespectsCancellation(t *testing.T) {
+	req, _ := paperRequest(t)
+	s := New(&sa.Solver{}, Config{Latency: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Device contract: cancelled solves return best-so-far (here, a
+		// zero-sweep result), not an error.
+		if _, err := s.Solve(ctx, req); err != nil {
+			t.Errorf("cancelled solve errored: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("latency sleep ignored context cancellation")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("transient-first=2, transient-every=5,terminal-after=8,corrupt=0.5,latency=3ms,empty-every=4,flap-every=6,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 9, TransientFirst: 2, TransientEvery: 5, TerminalAfter: 8,
+		Corrupt: true, CorruptRate: 0.5, EmptyEvery: 4,
+		Latency: 3 * time.Millisecond, FlapEvery: 6,
+	}
+	if cfg != want {
+		t.Errorf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	cfg, err = ParseSpec("corrupt")
+	if err != nil || !cfg.Corrupt || cfg.CorruptRate != 0 {
+		t.Errorf("bare corrupt: cfg=%+v err=%v", cfg, err)
+	}
+	if cfg, err := ParseSpec("  "); err != nil || cfg.enabled() {
+		t.Errorf("blank spec: cfg=%+v err=%v", cfg, err)
+	}
+	for _, bad := range []string{"bogus=1", "transient-first", "transient-first=x", "corrupt=2", "latency", "latency=zzz", "seed=-1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+func TestSolveLargeDelegation(t *testing.T) {
+	req, _ := paperRequest(t)
+	// sa.Solver has no SolveLarge: the wrapper must fail terminally.
+	s := New(&sa.Solver{}, Config{})
+	if _, err := s.SolveLarge(context.Background(), req); err == nil {
+		t.Error("SolveLarge over a plain solver must fail")
+	}
+}

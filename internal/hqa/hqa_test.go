@@ -24,7 +24,8 @@ func TestSolvesPaperExampleToOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := enc.Decode(res.Best().Assignment)
+	best, _ := res.Best()
+	sol, err := enc.Decode(best.Assignment)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,13 +57,17 @@ func TestSolveLargerThanQPUSubproblem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Best().Assignment) != 40 {
-		t.Fatalf("assignment length = %d, want 40", len(res.Best().Assignment))
+	best, ok := res.Best()
+	if !ok {
+		t.Fatal("no samples")
+	}
+	if len(best.Assignment) != 40 {
+		t.Fatalf("assignment length = %d, want 40", len(best.Assignment))
 	}
 	// Optimal is the alternating pattern with energy −20; the hybrid loop
 	// with descent must land at or near it.
-	if res.Best().Energy > -18 {
-		t.Errorf("energy = %v, want ≤ −18", res.Best().Energy)
+	if best.Energy > -18 {
+		t.Errorf("energy = %v, want ≤ −18", best.Energy)
 	}
 }
 

@@ -159,9 +159,12 @@ func partitionRelations(ctx context.Context, g *QueryGraph, opt Options) ([][]in
 		if err != nil {
 			return err
 		}
-		l1, l2, err := enc.Decode(res.Best().Assignment)
-		if err != nil {
-			return err
+		var l1, l2 []int
+		if best, ok := res.Best(); ok {
+			l1, l2, err = enc.Decode(best.Assignment)
+			if err != nil {
+				return err
+			}
 		}
 		if len(l1) == 0 || len(l2) == 0 {
 			half := len(rels) / 2

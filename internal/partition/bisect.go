@@ -39,6 +39,10 @@ type Options struct {
 	// Parallelism forwards to the bisection solves' Request.Parallelism,
 	// bounding each device's run-level worker pool; zero means GOMAXPROCS.
 	Parallelism int
+	// FailFast aborts the partitioning phase on the first bisection solve
+	// error instead of degrading that bisection to the deterministic
+	// weight-balancing split.
+	FailFast bool
 }
 
 func (o *Options) parses() int {
@@ -79,6 +83,10 @@ type Result struct {
 	// partition boundaries — the information DSS later re-applies. Each
 	// crossing saving is counted once.
 	DiscardedSavings float64
+	// DegradedBisections counts bisections whose annealer solve failed (or
+	// returned no samples) and that fell back to the deterministic
+	// weight-balancing split instead of aborting the phase.
+	DegradedBisections int
 }
 
 // Partition splits p into partial problems that each fit the device
@@ -107,11 +115,14 @@ func Partition(ctx context.Context, p *mqo.Problem, opt Options) (*Result, error
 		}
 		seed++
 		t0 := time.Now()
-		part1, part2, err := bisect(ctx, g, queries, opt, seed)
+		part1, part2, degraded, err := bisect(ctx, g, queries, opt, seed)
 		if err != nil {
 			return err
 		}
 		res.Bisections++
+		if degraded {
+			res.DegradedBisections++
+		}
 		if sink.Enabled() {
 			sink.Emit(obs.Event{Name: "bisect", Dur: time.Since(t0), N: len(queries)})
 		}
@@ -164,12 +175,16 @@ func Partition(ctx context.Context, p *mqo.Problem, opt Options) (*Result, error
 
 // bisect splits one query subset into two non-empty parts using the
 // annealer on the induced partitioning graph, then post-processes with
-// Algorithm 1 (both orientations, best cut kept).
-func bisect(ctx context.Context, g *Graph, queries []int, opt Options, seed int64) ([]int, []int, error) {
+// Algorithm 1 (both orientations, best cut kept). When the device solve
+// fails terminally — or returns an empty sample set — the bisection degrades
+// to the deterministic weight-balancing split (reported via the third
+// return) rather than aborting the whole partitioning phase, unless
+// Options.FailFast asks for the error.
+func bisect(ctx context.Context, g *Graph, queries []int, opt Options, seed int64) ([]int, []int, bool, error) {
 	sub := g.Subgraph(queries)
 	enc, err := encoding.EncodePartition(sub.NodeWeights, sub.Edges)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	dev := opt.Solver
 	if dev == nil || (dev.Capacity() > 0 && enc.Model.NumVariables() > dev.Capacity()) {
@@ -178,18 +193,38 @@ func bisect(ctx context.Context, g *Graph, queries []int, opt Options, seed int6
 		dev = &sa.Solver{}
 	}
 	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.Sweeps, Seed: seed, Parallelism: opt.Parallelism}
-	if obs.FromContext(ctx).Enabled() {
+	sink := obs.FromContext(ctx)
+	if sink.Enabled() {
 		// Distinguish the device's bisection solves from the MQO-phase
 		// solves in traces.
 		ctx = obs.WithLabel(ctx, "bisect")
 	}
+	var l1, l2 []int
+	degraded := false
 	result, err := dev.Solve(ctx, req)
-	if err != nil {
-		return nil, nil, fmt.Errorf("partition: bisection solve: %w", err)
+	best, haveSample := solver.Sample{}, false
+	if err == nil {
+		best, haveSample = result.Best()
+	} else if opt.FailFast {
+		return nil, nil, false, fmt.Errorf("partition: bisection solve: %w", err)
 	}
-	l1, l2, err := enc.Decode(result.Best().Assignment)
-	if err != nil {
-		return nil, nil, err
+	if haveSample {
+		l1, l2, err = enc.Decode(best.Assignment)
+		if err != nil {
+			return nil, nil, false, err
+		}
+	} else {
+		// The solve failed terminally or yielded no sample: split by
+		// alternating descending node weights instead of aborting the
+		// phase. The split is deterministic, so the degraded pipeline
+		// stays reproducible.
+		degraded = true
+		if sink.Enabled() {
+			sink.Emit(obs.Event{Name: "degrade", Device: dev.Name(), Label: "bisect", N: len(queries)})
+			if reg := sink.Metrics(); reg != nil {
+				reg.Counter("partition.degraded").Add(1)
+			}
+		}
 	}
 	if len(l1) == 0 || len(l2) == 0 {
 		l1, l2 = fallbackSplit(sub)
@@ -208,7 +243,7 @@ func bisect(ctx context.Context, g *Graph, queries []int, opt Options, seed int6
 		sort.Ints(out)
 		return out
 	}
-	return toGlobal(l1), toGlobal(l2), nil
+	return toGlobal(l1), toGlobal(l2), degraded, nil
 }
 
 // fallbackSplit deterministically halves a subset by alternating

@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"incranneal/internal/obs"
+	"incranneal/internal/solver"
+)
+
+// ErrOpen is returned (wrapped) when a tripped breaker rejects a solve
+// without consulting the device. It is terminal by design: retrying a
+// breaker-open failure on the same device would defeat the breaker, so
+// recovery must escalate to the Fallback chain.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// Breaker is a consecutive-failure circuit breaker. After Threshold solves
+// in a row fail, the circuit opens and further solves fail fast with
+// ErrOpen. A Cooldown > 0 makes the breaker half-open after rejecting that
+// many calls: one probe reaches the device, and its outcome closes or
+// re-opens the circuit. Counting calls rather than wall-clock time keeps
+// the breaker deterministic when solves are issued sequentially; with
+// concurrent solves the trip point follows completion order (documented in
+// DESIGN.md). With no faults the breaker never trips and is inert.
+type Breaker struct {
+	Inner     solver.Solver
+	Threshold int
+	Cooldown  int
+
+	mu       sync.Mutex
+	failures int // consecutive failures while closed
+	open     bool
+	rejected int // calls rejected since the circuit opened
+	trips    int
+}
+
+// NewBreaker wraps inner, tripping after threshold consecutive failures and
+// half-opening after cooldown rejected calls (0: stays open).
+func NewBreaker(inner solver.Solver, threshold, cooldown int) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{Inner: inner, Threshold: threshold, Cooldown: cooldown}
+}
+
+func (b *Breaker) Name() string  { return b.Inner.Name() }
+func (b *Breaker) Capacity() int { return b.Inner.Capacity() }
+
+// Trips reports how many times the circuit has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Solve consults the circuit, then the device.
+func (b *Breaker) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return b.solve(ctx, req, b.Inner.Solve)
+}
+
+// SolveLarge applies the same circuit to the inner device's vendor
+// decomposition.
+func (b *Breaker) SolveLarge(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	ls, ok := b.Inner.(solver.LargeSolver)
+	if !ok {
+		return nil, fmt.Errorf("resilience: device %s offers no default partitioning", b.Inner.Name())
+	}
+	return b.solve(ctx, req, ls.SolveLarge)
+}
+
+func (b *Breaker) solve(ctx context.Context, req solver.Request, inner func(context.Context, solver.Request) (*solver.Result, error)) (*solver.Result, error) {
+	b.mu.Lock()
+	if b.open {
+		if b.Cooldown > 0 && b.rejected >= b.Cooldown {
+			// Half-open: let this call probe the device.
+			b.rejected = 0
+		} else {
+			b.rejected++
+			b.mu.Unlock()
+			return nil, fmt.Errorf("%w: device %s", ErrOpen, b.Inner.Name())
+		}
+	}
+	b.mu.Unlock()
+
+	res, err := inner(ctx, req)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		b.open = false
+		return res, nil
+	}
+	b.failures++
+	if !b.open && b.failures >= b.Threshold {
+		b.open = true
+		b.rejected = 0
+		b.trips++
+		if sink := obs.FromContext(ctx); sink.Enabled() {
+			sink.Emit(obs.Event{Name: "trip", Device: b.Inner.Name(), Label: obs.LabelFromContext(ctx), N: b.failures})
+			if reg := sink.Metrics(); reg != nil {
+				reg.Counter("resilience.trips").Add(1)
+			}
+		}
+	} else if b.open {
+		// A failed half-open probe re-opens the circuit.
+		b.rejected = 0
+	}
+	return nil, err
+}

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"incranneal/internal/obs"
+	"incranneal/internal/solver"
+)
+
+// Fallback tries an ordered chain of devices: the first (primary) device
+// answers unless it fails, in which case the next capacity-compatible
+// device is tried, and so on. Any failure — transient or terminal — moves
+// down the chain; per-device retry policy belongs in a Retry layer *inside*
+// the chain (see Wrap). The chain's error joins every device's error and
+// carries the summed attempt count.
+type Fallback struct {
+	Devices []solver.Solver
+}
+
+// NewFallback chains devs in order; devs[0] is the primary.
+func NewFallback(devs []solver.Solver) *Fallback {
+	return &Fallback{Devices: devs}
+}
+
+// Name lists the chain, primary first.
+func (f *Fallback) Name() string {
+	names := make([]string, len(f.Devices))
+	for i, d := range f.Devices {
+		names[i] = d.Name()
+	}
+	return "fallback(" + strings.Join(names, ",") + ")"
+}
+
+// Capacity reports the primary device's capacity: partitioning decisions
+// size sub-problems for the device the pipeline intends to use, and a
+// fallback to a roomier software device never invalidates that sizing.
+func (f *Fallback) Capacity() int {
+	if len(f.Devices) == 0 {
+		return 0
+	}
+	return f.Devices[0].Capacity()
+}
+
+// Solve tries each capacity-compatible device in order.
+func (f *Fallback) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return f.solve(ctx, req, func(dev solver.Solver) (*solver.Result, error) {
+		if req.Model != nil {
+			if err := solver.CheckCapacity(dev, req.Model); err != nil {
+				return nil, err
+			}
+		}
+		return dev.Solve(ctx, req)
+	})
+}
+
+// SolveLarge tries each device's large-problem handling in order. The model
+// exceeds the primary's capacity by construction (that is why the caller
+// reached for SolveLarge), so no capacity gate applies to devices with their
+// own decomposition; a device without one still serves when the model fits
+// it whole, which lets an unbounded software device back a capacity-limited
+// primary.
+func (f *Fallback) SolveLarge(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return f.solve(ctx, req, func(dev solver.Solver) (*solver.Result, error) {
+		if ls, ok := dev.(solver.LargeSolver); ok {
+			return ls.SolveLarge(ctx, req)
+		}
+		if req.Model != nil {
+			if err := solver.CheckCapacity(dev, req.Model); err != nil {
+				return nil, err
+			}
+		}
+		return dev.Solve(ctx, req)
+	})
+}
+
+// solve runs call over the chain in order; call owns capacity screening, so
+// the two entry points can gate differently.
+func (f *Fallback) solve(ctx context.Context, req solver.Request, call func(solver.Solver) (*solver.Result, error)) (*solver.Result, error) {
+	if len(f.Devices) == 0 {
+		return nil, errors.New("resilience: empty fallback chain")
+	}
+	var (
+		errs     []error
+		attempts int
+	)
+	for i, dev := range f.Devices {
+		if i > 0 {
+			if sink := obs.FromContext(ctx); sink.Enabled() {
+				sink.Emit(obs.Event{Name: "fallback", Device: dev.Name(), Label: obs.LabelFromContext(ctx), Run: i})
+				if reg := sink.Metrics(); reg != nil {
+					reg.Counter("resilience.fallbacks").Add(1)
+				}
+			}
+		}
+		res, err := call(dev)
+		if err == nil {
+			return res, nil
+		}
+		attempts += attemptCount(err)
+		errs = append(errs, fmt.Errorf("device %s: %w", dev.Name(), err))
+		if solver.Interrupted(ctx) {
+			break
+		}
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	// Wrap directly rather than via withAttempts: the joined error keeps
+	// every device's failure visible while the outer count owns the total.
+	return nil, &AttemptsError{Count: attempts, Err: errors.Join(errs...)}
+}

@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"incranneal/internal/obs"
+	"incranneal/internal/solver"
+)
+
+// RetryConfig bounds a Retry layer.
+type RetryConfig struct {
+	// Attempts is the total number of solve attempts (first try included).
+	// Values below 1 mean 1.
+	Attempts int
+	// Base is the backoff before the second attempt; it doubles per
+	// attempt, capped at Max, then stretched by up to +50% deterministic
+	// jitter.
+	Base time.Duration
+	// Max caps the pre-jitter backoff.
+	Max time.Duration
+	// Seed drives the jitter (see jitterFrac).
+	Seed int64
+}
+
+// Retry re-issues failed solves a bounded number of times with exponential
+// backoff. Only transient errors (solver.IsTransient) are retried: terminal
+// errors — capacity violations, programming errors, a tripped breaker —
+// escalate immediately. The final error carries the attempt count via
+// AttemptsError.
+type Retry struct {
+	Inner solver.Solver
+	Cfg   RetryConfig
+}
+
+// NewRetry wraps inner with the bounded-retry policy cfg.
+func NewRetry(inner solver.Solver, cfg RetryConfig) *Retry {
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 1
+	}
+	return &Retry{Inner: inner, Cfg: cfg}
+}
+
+func (r *Retry) Name() string  { return r.Inner.Name() }
+func (r *Retry) Capacity() int { return r.Inner.Capacity() }
+
+// Solve attempts the inner solve up to Cfg.Attempts times.
+func (r *Retry) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return r.solve(ctx, req, r.Inner.Solve)
+}
+
+// SolveLarge retries the inner device's vendor decomposition under the same
+// policy.
+func (r *Retry) SolveLarge(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	ls, ok := r.Inner.(solver.LargeSolver)
+	if !ok {
+		return nil, fmt.Errorf("resilience: device %s offers no default partitioning", r.Inner.Name())
+	}
+	return r.solve(ctx, req, ls.SolveLarge)
+}
+
+func (r *Retry) solve(ctx context.Context, req solver.Request, inner func(context.Context, solver.Request) (*solver.Result, error)) (*solver.Result, error) {
+	var err error
+	for attempt := 1; ; attempt++ {
+		var res *solver.Result
+		res, err = inner(ctx, req)
+		if err == nil {
+			return res, nil
+		}
+		if !solver.IsTransient(err) || attempt >= r.Cfg.Attempts {
+			return nil, withAttempts(err, attempt)
+		}
+		if sink := obs.FromContext(ctx); sink.Enabled() {
+			sink.Emit(obs.Event{Name: "retry", Device: r.Inner.Name(), Label: obs.LabelFromContext(ctx), Run: attempt})
+			if reg := sink.Metrics(); reg != nil {
+				reg.Counter("resilience.retries").Add(1)
+			}
+		}
+		if !r.sleep(ctx, attempt, req.Seed) {
+			// Context cancelled while backing off: report the solve error,
+			// not the cancellation — the caller inspects ctx separately.
+			return nil, withAttempts(err, attempt)
+		}
+	}
+}
+
+// sleep blocks for the attempt's backoff, returning false if the context
+// was cancelled first.
+func (r *Retry) sleep(ctx context.Context, attempt int, reqSeed int64) bool {
+	d := r.Cfg.Base << (attempt - 1)
+	if r.Cfg.Max > 0 && d > r.Cfg.Max {
+		d = r.Cfg.Max
+	}
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	// Up to +50% deterministic jitter decorrelates co-scheduled retries
+	// without breaking replayability.
+	d += time.Duration(jitterFrac(r.Cfg.Seed, reqSeed, attempt) * 0.5 * float64(d))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

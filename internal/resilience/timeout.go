@@ -1,0 +1,53 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"incranneal/internal/solver"
+)
+
+// Timeout bounds each solve with a per-call deadline. It leans on the
+// device cancellation contract: every device in this repo checks its context
+// between sweeps and returns its best-so-far samples when cancelled, so an
+// expired deadline yields a usable (if shorter) result rather than an
+// error. A device that truly produced nothing before the deadline surfaces
+// as an empty Result, which the pipeline's degradation path repairs.
+type Timeout struct {
+	Inner solver.Solver
+	// D is the per-solve deadline; values <= 0 disable the layer.
+	D time.Duration
+}
+
+// NewTimeout wraps inner with a per-solve deadline d.
+func NewTimeout(inner solver.Solver, d time.Duration) *Timeout {
+	return &Timeout{Inner: inner, D: d}
+}
+
+func (t *Timeout) Name() string  { return t.Inner.Name() }
+func (t *Timeout) Capacity() int { return t.Inner.Capacity() }
+
+// Solve runs the inner solve under the deadline.
+func (t *Timeout) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return t.solve(ctx, req, t.Inner.Solve)
+}
+
+// SolveLarge runs the inner device's vendor decomposition under the
+// deadline.
+func (t *Timeout) SolveLarge(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	ls, ok := t.Inner.(solver.LargeSolver)
+	if !ok {
+		return nil, fmt.Errorf("resilience: device %s offers no default partitioning", t.Inner.Name())
+	}
+	return t.solve(ctx, req, ls.SolveLarge)
+}
+
+func (t *Timeout) solve(ctx context.Context, req solver.Request, inner func(context.Context, solver.Request) (*solver.Result, error)) (*solver.Result, error) {
+	if t.D <= 0 {
+		return inner(ctx, req)
+	}
+	tctx, cancel := context.WithTimeout(ctx, t.D)
+	defer cancel()
+	return inner(tctx, req)
+}

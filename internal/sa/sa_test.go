@@ -29,7 +29,10 @@ func TestSolveTrivialModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := res.Best()
+	best, ok := res.Best()
+	if !ok {
+		t.Fatal("no samples")
+	}
 	if best.Energy != -1 || best.Assignment[0] != 1 || best.Assignment[1] != 0 {
 		t.Errorf("best = %+v, want energy −1 at (1,0)", best)
 	}
@@ -49,7 +52,8 @@ func TestSolvesPaperExampleToOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := enc.Decode(res.Best().Assignment)
+	b, _ := res.Best()
+	sol, err := enc.Decode(b.Assignment)
 	if err != nil {
 		t.Fatal(err)
 	}

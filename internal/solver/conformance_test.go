@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"incranneal/internal/da"
+	"incranneal/internal/faultinject"
 	"incranneal/internal/hqa"
 	"incranneal/internal/obs"
 	"incranneal/internal/qubo"
+	"incranneal/internal/resilience"
 	"incranneal/internal/sa"
 	"incranneal/internal/solver"
 	"incranneal/internal/va"
@@ -128,6 +130,72 @@ func TestDeviceConformanceDeterminism(t *testing.T) {
 			}
 			if !sameSamples(ref.Samples, res.Samples) {
 				t.Error("observability sink changed samples")
+			}
+		})
+	}
+}
+
+// TestDeviceConformanceMiddlewareTransparency pins the resilience contract:
+// with no faults in play, every middleware layer — and the full composed
+// stack, including a zero-config fault injector — is invisible. Samples stay
+// bit-identical to the bare device for every Parallelism value.
+func TestDeviceConformanceMiddlewareTransparency(t *testing.T) {
+	m := conformanceModel()
+	middlewares := []struct {
+		name string
+		wrap func(dev solver.Solver) solver.Solver
+	}{
+		{"retry", func(dev solver.Solver) solver.Solver {
+			return resilience.NewRetry(dev, resilience.RetryConfig{Attempts: 3, Base: time.Millisecond, Seed: 11})
+		}},
+		{"timeout", func(dev solver.Solver) solver.Solver {
+			return &resilience.Timeout{Inner: dev, D: time.Minute}
+		}},
+		{"breaker", func(dev solver.Solver) solver.Solver {
+			return resilience.NewBreaker(dev, 2, 0)
+		}},
+		{"fallback", func(dev solver.Solver) solver.Solver {
+			return &resilience.Fallback{Devices: []solver.Solver{dev, &sa.Solver{}}}
+		}},
+		{"faultinject-disabled", func(dev solver.Solver) solver.Solver {
+			return faultinject.New(dev, faultinject.Config{})
+		}},
+		{"full-stack", func(dev solver.Solver) solver.Solver {
+			return resilience.Wrap(
+				[]solver.Solver{faultinject.New(dev, faultinject.Config{}), &sa.Solver{}},
+				resilience.Config{Retries: 2, SolveTimeout: time.Minute, BreakerThreshold: 3, Seed: 11},
+			)
+		}},
+	}
+	for _, dev := range devices() {
+		t.Run(deviceName(dev), func(t *testing.T) {
+			base := solver.Request{Model: m, Runs: 4, Sweeps: 300, Seed: 7}
+			refs := map[int]*solver.Result{}
+			for _, par := range []int{-1, 1, 4} {
+				req := base
+				req.Parallelism = par
+				ref, err := dev.Solve(context.Background(), req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refs[par] = ref
+			}
+			for _, mw := range middlewares {
+				t.Run(mw.name, func(t *testing.T) {
+					wrapped := mw.wrap(dev)
+					for _, par := range []int{-1, 1, 4} {
+						req := base
+						req.Parallelism = par
+						res, err := wrapped.Solve(context.Background(), req)
+						if err != nil {
+							t.Fatalf("parallelism %d: %v", par, err)
+						}
+						checkResult(t, m, res)
+						if !sameSamples(refs[par].Samples, res.Samples) {
+							t.Errorf("parallelism %d: middleware changed samples", par)
+						}
+					}
+				})
 			}
 		})
 	}

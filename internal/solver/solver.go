@@ -56,9 +56,17 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Best returns the lowest-energy sample. Results always contain at least
-// one sample.
-func (r *Result) Best() Sample { return r.Samples[0] }
+// Best returns the lowest-energy sample and true, or a zero Sample and
+// false when the result holds no samples — possible when a device is
+// cancelled before its first sweep completes, or when a remote call fails
+// after the request was accepted. Callers must check the second return
+// before using the sample.
+func (r *Result) Best() (Sample, bool) {
+	if len(r.Samples) == 0 {
+		return Sample{}, false
+	}
+	return r.Samples[0], true
+}
 
 // SortSamples orders Samples by ascending energy (stable).
 func (r *Result) SortSamples() {
@@ -95,6 +103,34 @@ type LargeSolver interface {
 // ErrCapacityExceeded reports that a request's model does not fit the
 // device.
 var ErrCapacityExceeded = errors.New("solver: problem exceeds device variable capacity")
+
+// TransientError marks a solve failure as retryable: the same request may
+// succeed on a later attempt (rate limiting, a dropped connection, a busy
+// remote queue). Errors not wrapped in a TransientError are terminal — the
+// device cannot serve this request and callers should degrade or fail over
+// instead of retrying. This is the error taxonomy the resilience middleware
+// keys on: Retry only re-attempts transient errors, while terminal errors
+// propagate immediately to the breaker and fallback layers.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// MarkTransient wraps err as retryable. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is marked retryable anywhere in its chain.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
 
 // CheckCapacity returns ErrCapacityExceeded (wrapped with sizes) when the
 // model of req does not fit s.

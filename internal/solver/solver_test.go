@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"incranneal/internal/qubo"
@@ -50,13 +51,56 @@ func TestResultBestAndSort(t *testing.T) {
 		{Energy: 3}, {Energy: -1}, {Energy: 0},
 	}}
 	r.SortSamples()
-	if r.Best().Energy != -1 {
-		t.Errorf("Best = %v, want −1", r.Best().Energy)
+	best, ok := r.Best()
+	if !ok {
+		t.Fatal("Best reported no sample on a populated result")
+	}
+	if best.Energy != -1 {
+		t.Errorf("Best = %v, want −1", best.Energy)
 	}
 	for i := 1; i < len(r.Samples); i++ {
 		if r.Samples[i].Energy < r.Samples[i-1].Energy {
 			t.Fatal("samples not sorted")
 		}
+	}
+}
+
+func TestResultBestEmpty(t *testing.T) {
+	// Regression: a device cancelled before its first sweep returns an
+	// empty sample slice; Best must report that instead of panicking.
+	for _, r := range []*Result{{}, {Samples: []Sample{}}} {
+		best, ok := r.Best()
+		if ok {
+			t.Errorf("Best on empty result reported ok with sample %+v", best)
+		}
+		if best.Assignment != nil || best.Energy != 0 {
+			t.Errorf("Best on empty result = %+v, want zero Sample", best)
+		}
+	}
+}
+
+func TestTransientErrorTaxonomy(t *testing.T) {
+	if MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) must stay nil")
+	}
+	base := errors.New("device busy")
+	te := MarkTransient(base)
+	if !IsTransient(te) {
+		t.Error("marked error not reported transient")
+	}
+	if !errors.Is(te, base) {
+		t.Error("MarkTransient hides the cause from errors.Is")
+	}
+	// Wrapping a transient error keeps it transient; plain errors are
+	// terminal.
+	if !IsTransient(fmt.Errorf("attempt 3: %w", te)) {
+		t.Error("wrapped transient error lost its marker")
+	}
+	if IsTransient(base) {
+		t.Error("unmarked error reported transient")
+	}
+	if IsTransient(ErrCapacityExceeded) {
+		t.Error("capacity errors are terminal by definition")
 	}
 }
 

@@ -21,7 +21,8 @@ func TestSolvesPaperExampleToOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := enc.Decode(res.Best().Assignment)
+	best, _ := res.Best()
+	sol, err := enc.Decode(best.Assignment)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +79,10 @@ func TestResamplingKeepsBest(t *testing.T) {
 	}
 	// Both must produce decodable, reasonable samples; resampling must
 	// never lose the incumbent best.
-	if rw.Best().Energy > ro.Best().Energy+1e-9 && rw.Best().Energy > 0 {
-		t.Errorf("resampling degraded best energy: %v vs %v", rw.Best().Energy, ro.Best().Energy)
+	bw, _ := rw.Best()
+	bo, _ := ro.Best()
+	if bw.Energy > bo.Energy+1e-9 && bw.Energy > 0 {
+		t.Errorf("resampling degraded best energy: %v vs %v", bw.Energy, bo.Energy)
 	}
 }
 
