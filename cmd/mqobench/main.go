@@ -24,6 +24,11 @@
 // -inject-faults applies a deterministic fault schedule to the primary
 // devices (chaos benchmarking — the phases report's "deg" column counts the
 // partial problems completed by greedy repair); -fail-fast aborts instead.
+//
+// Scheduling: -dag-parallel=false forces every incremental solve onto the
+// strictly sequential chain, -dag-density tunes the fallback threshold, and
+// -fig dag runs the execution-order ablation (sequential vs. DAG-parallel
+// vs. DSS off on sparse-dependency workloads).
 package main
 
 import (
@@ -43,7 +48,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, convergence, ablation or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, convergence, dag, ablation or all")
 		scale     = flag.String("scale", "reduced", "experiment scale: smoke, reduced or paper")
 		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
 		outDir    = flag.String("out", "", "write per-figure files to this directory instead of stdout")
@@ -59,6 +64,9 @@ func main() {
 		fallback     = flag.String("fallback", "", "comma-separated fallback devices tried after the primary (da, da-pt, sa, hqa, va)")
 		injectFaults = flag.String("inject-faults", "", "deterministic fault schedule for every primary device, e.g. transient-first=2,terminal-after=4")
 		failFast     = flag.Bool("fail-fast", false, "abort a run on terminal device failure instead of degrading to greedy repair")
+
+		dagParallel = flag.Bool("dag-parallel", true, "schedule independent partial problems concurrently over the DSS dependency DAG (false = strictly sequential incremental chain)")
+		dagDensity  = flag.Float64("dag-density", 0, "DSS dependency-graph edge density above which the DAG scheduler falls back to the sequential chain (0 = default 0.5, >=1 = never)")
 	)
 	flag.Parse()
 
@@ -85,6 +93,7 @@ func main() {
 	}
 	cfg.Middleware = mw
 	cfg.FailFast = *failFast
+	cfg.Pipeline = bench.PipelineSpec{DisableDAG: !*dagParallel, DAGDensity: *dagDensity}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -111,6 +120,7 @@ func main() {
 		{"devices", func() (*bench.Report, error) { return bench.DeviceShootout(ctx, cfg, sc) }},
 		{"phases", func() (*bench.Report, error) { return bench.PhaseReport(ctx, cfg, sc) }},
 		{"convergence", func() (*bench.Report, error) { return bench.Convergence(ctx, cfg, sc) }},
+		{"dag", func() (*bench.Report, error) { return bench.AblationDAG(ctx, cfg, sc) }},
 		{"ablation", func() (*bench.Report, error) { return nil, nil }}, // expanded below
 	}
 	selected := map[string]bool{}
@@ -181,7 +191,7 @@ func main() {
 	if selected["ablation"] {
 		for _, run := range []func(context.Context, bench.Config, bench.Scale) (*bench.Report, error){
 			bench.AblationDSS, bench.AblationPostProcess, bench.AblationLagrange,
-			bench.AblationDigitalAnnealer, bench.AblationBudget,
+			bench.AblationDigitalAnnealer, bench.AblationBudget, bench.AblationDAG,
 		} {
 			r, err := run(ctx, cfg, sc)
 			checkJob("ablation", err)

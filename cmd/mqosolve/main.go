@@ -20,6 +20,12 @@
 // -inject-faults applies a deterministic fault schedule to the primary
 // device (for chaos testing); -fail-fast aborts on terminal device failure
 // instead of completing the affected partial problems by greedy repair.
+//
+// Scheduling: the incremental strategy solves independent partial problems
+// concurrently over the DSS dependency DAG by default; -dag-parallel=false
+// forces the strictly sequential chain and -dag-density tunes the edge
+// density above which the scheduler falls back to it. Results are identical
+// either way.
 package main
 
 import (
@@ -63,6 +69,9 @@ func main() {
 		fallback     = flag.String("fallback", "", "comma-separated fallback devices tried after the primary (da, da-pt, sa, hqa, va)")
 		injectFaults = flag.String("inject-faults", "", "deterministic fault schedule for the primary device, e.g. transient-first=2,terminal-after=4,corrupt")
 		failFast     = flag.Bool("fail-fast", false, "abort on terminal device failure instead of degrading to greedy repair")
+
+		dagParallel = flag.Bool("dag-parallel", true, "schedule independent partial problems concurrently over the DSS dependency DAG (false = strictly sequential incremental chain)")
+		dagDensity  = flag.Float64("dag-density", 0, "DSS dependency-graph edge density above which the DAG scheduler falls back to the sequential chain (0 = default 0.5, >=1 = never)")
 	)
 	flag.Parse()
 
@@ -97,8 +106,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	ps := bench.PipelineSpec{DisableDAG: !*dagParallel, DAGDensity: *dagDensity}
 	start := time.Now()
-	sol, cost, stats, err := run(ctx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout, mw, *failFast)
+	sol, cost, stats, err := run(ctx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout, mw, *failFast, ps)
 	if err != nil {
 		// SIGINT cancels ctx mid-solve; flush whatever the trace recorded
 		// before reporting the interrupt.
@@ -126,8 +136,9 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, sweeps int, seed int64, timeout time.Duration, mw func(solver.Solver) solver.Solver, failFast bool) (*mqo.Solution, float64, string, error) {
+func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, sweeps int, seed int64, timeout time.Duration, mw func(solver.Solver) solver.Solver, failFast bool, ps bench.PipelineSpec) (*mqo.Solution, float64, string, error) {
 	copt := core.Options{Capacity: capacity, Runs: runs, TotalSweeps: sweeps, Seed: seed, FailFast: failFast}
+	ps.Apply(&copt)
 	bopt := baseline.Options{Seed: seed, TimeBudget: timeout}
 	annealOutcome := func(out *core.Outcome, err error) (*mqo.Solution, float64, string, error) {
 		if err != nil {
@@ -135,6 +146,13 @@ func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, 
 		}
 		stats := fmt.Sprintf("partitions: %d\ndiscarded:  %.2f (savings crossing partitions)\nreapplied:  %.2f (via DSS)\nsweeps:     %d\n",
 			out.NumPartitions, out.DiscardedSavings, out.ReappliedSavings, out.Sweeps)
+		if out.DAG != nil {
+			mode := fmt.Sprintf("%d waves, width %d", out.DAG.Waves, out.DAG.Width)
+			if out.DAG.Fallback {
+				mode = "sequential fallback (graph too dense)"
+			}
+			stats += fmt.Sprintf("dss dag:    %d edges, density %.2f — %s\n", out.DAG.Edges, out.DAG.Density, mode)
+		}
 		if len(out.Degradations) > 0 {
 			stats += fmt.Sprintf("degraded:   %d partial problem(s) completed by greedy repair\n", len(out.Degradations))
 			for _, d := range out.Degradations {

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"incranneal/internal/core"
+	"incranneal/internal/da"
+	"incranneal/internal/workload"
+)
+
+// PipelineSpec captures the incremental-pipeline CLI flags shared by
+// mqosolve and mqobench (the MiddlewareSpec pattern): how the incremental
+// phase schedules its partial problems. The zero value is the default
+// pipeline — DAG scheduling enabled at the core's density threshold.
+type PipelineSpec struct {
+	// DisableDAG is -dag-parallel=false: force the strictly sequential
+	// chain of Algorithm 2.
+	DisableDAG bool
+	// DAGDensity is -dag-density: the DSS dependency-graph edge density
+	// above which the scheduler falls back to the sequential chain. Zero
+	// keeps the core default (0.5); >= 1 never falls back.
+	DAGDensity float64
+}
+
+// Apply writes the spec into a solve's options.
+func (s PipelineSpec) Apply(opt *core.Options) {
+	opt.DisableDAG = s.DisableDAG
+	opt.DAGDensityThreshold = s.DAGDensity
+}
+
+// AblationDAG compares the incremental phase's execution orders on
+// topology-controlled sparse-DAG instances (workload.GenerateDAGSweep, one
+// partial problem per community): the sequential chain of Algorithm 2, the
+// DAG-parallel wave schedule, and the DSS-off ablation (an edgeless graph —
+// maximal concurrency, no steering). Quality columns (final cost,
+// re-applied savings) must agree bit for bit between sequential and DAG;
+// the wall columns show what the dependency slack buys.
+func AblationDAG(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &Report{
+		ID:      "ablation-dag",
+		Title:   "Incremental phase: sequential chain vs. DAG-parallel vs. DSS off",
+		Header:  cfg.headerLines(scale),
+		Columns: []string{"instance", "dag (waves×width)", "cost (seq)", "cost (dag)", "cost (dss off)", "reapplied (seq)", "reapplied (dag)", "wall (seq)", "wall (dag)"},
+	}
+	queries := scale.QuerySet[len(scale.QuerySet)-1]
+	const communities = 8
+	for inst := 0; inst < scale.Instances; inst++ {
+		in, err := workload.GenerateDAGSweep(workload.DAGSweepConfig{
+			Queries: queries, PPQ: scale.StandardPPQ, Communities: communities,
+			IntraDensity: 0.4, CrossDensity: 0.1,
+			Seed: classSeed("abl-dag", inst, 0, 0),
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := in.Problem
+		solve := func(disableDAG, disableDSS bool) (*core.Outcome, time.Duration, error) {
+			subs, err := in.SubProblems()
+			if err != nil {
+				return nil, 0, err
+			}
+			opt := core.Options{
+				Device: cfg.wrap(&da.Solver{CapacityVars: cfg.DACapacity}), Runs: cfg.Runs,
+				TotalSweeps: daSweeps(cfg, p), Seed: classSeed("abl-dag-run", inst, 0, 0),
+				Parallelism: cfg.Parallelism, FailFast: cfg.FailFast,
+				DisableDAG: disableDAG, DisableDSS: disableDSS,
+			}
+			start := time.Now()
+			out, err := core.IncrementalOverSubProblems(ctx, p, subs, opt)
+			return out, time.Since(start), err
+		}
+		seq, seqWall, err := solve(true, false)
+		if err != nil {
+			return nil, err
+		}
+		dag, dagWall, err := solve(false, false)
+		if err != nil {
+			return nil, err
+		}
+		off, _, err := solve(false, true)
+		if err != nil {
+			return nil, err
+		}
+		shape := "fallback"
+		if dag.DAG != nil && !dag.DAG.Fallback {
+			shape = fmt.Sprintf("%d×%d", dag.DAG.Waves, dag.DAG.Width)
+		}
+		r.AddRow(p.Name, shape,
+			fmt.Sprintf("%.1f", seq.Cost),
+			fmt.Sprintf("%.1f", dag.Cost),
+			fmt.Sprintf("%.1f", off.Cost),
+			fmt.Sprintf("%.1f", seq.ReappliedSavings),
+			fmt.Sprintf("%.1f", dag.ReappliedSavings),
+			seqWall.Round(time.Millisecond).String(),
+			dagWall.Round(time.Millisecond).String())
+	}
+	r.Notes = append(r.Notes,
+		"sequential and DAG columns are bit-identical by construction (same solves, same seeds, deterministic join order); any difference is a bug",
+		"wall-clock gains require Parallelism > 1 and spare cores (or a latency-bound device); on one core the schedule is cost-neutral",
+		"DSS off solves every partial problem independently — the quality gap to the other columns is what steering is worth on this topology")
+	return r, nil
+}

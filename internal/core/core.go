@@ -65,6 +65,19 @@ type Options struct {
 	// strategy (ablation): partial problems are still processed
 	// sequentially and merged, but discarded savings are never re-applied.
 	DisableDSS bool
+	// DisableDAG forces the incremental strategy's strictly sequential
+	// chain (Algorithm 2 verbatim). By default the strategy schedules
+	// partial problems over the DSS dependency DAG: sub-problems that share
+	// no discarded savings are solved concurrently, with cost adjustments
+	// applied at join points in a fixed order so results stay bit-identical
+	// to the sequential chain.
+	DisableDAG bool
+	// DAGDensityThreshold is the DSS-DAG edge density (realised edges over
+	// possible edges) above which the incremental strategy falls back to
+	// the sequential chain — a dense graph serialises anyway, so the
+	// scheduler would only add overhead. Zero means 0.5; a value >= 1 never
+	// falls back.
+	DAGDensityThreshold float64
 	// FailFast restores the pre-degradation contract: a terminal device
 	// failure aborts the solve with an error instead of completing the
 	// affected partial problem by greedy repair. Also forwarded to the
@@ -100,6 +113,10 @@ type Outcome struct {
 	// partial-problem order. Empty for a fully-annealed solve; see
 	// Options.FailFast to abort on failure instead.
 	Degradations []Degradation
+	// DAG describes the DSS dependency graph the incremental strategy
+	// built over the partial problems, nil for the other strategies, for
+	// unpartitioned solves, and under Options.DisableDAG.
+	DAG *DAGStats
 }
 
 // PhaseTimings attributes wall-clock time to the pipeline phases. For
@@ -182,6 +199,14 @@ func (o Options) partitionSweeps(n, i int) int {
 		s = 1
 	}
 	return s
+}
+
+// dagDensityThreshold resolves the configured fallback threshold.
+func (o Options) dagDensityThreshold() float64 {
+	if o.DAGDensityThreshold > 0 {
+		return o.DAGDensityThreshold
+	}
+	return 0.5
 }
 
 // subTimings carries the per-phase durations of one partial-problem solve.
@@ -323,6 +348,32 @@ func finalize(p *mqo.Problem, sol *mqo.Solution, strategy string, start time.Tim
 
 func parallelism(o Options) int {
 	return solver.Workers(o.Parallelism)
+}
+
+// splitWorkers divides a worker budget over n concurrent device solves,
+// distributing the remainder one worker each over the first budget mod n
+// solves (the partitionSweeps discipline) so the shares sum exactly to the
+// budget whenever n <= workers. Shares that would round to zero become -1 —
+// the solver.Workers encoding for "sequential" — and boundedGroup's
+// concurrency cap keeps the goroutine total at the budget in that regime
+// too. Results never depend on the split: per-run seeds are pre-derived.
+func splitWorkers(workers, n int) []int {
+	if n < 1 {
+		return nil
+	}
+	share := make([]int, n)
+	q, r := workers/n, workers%n
+	for i := range share {
+		w := q
+		if i < r {
+			w++
+		}
+		if w < 1 {
+			w = -1 // sequential runs inside this solve
+		}
+		share[i] = w
+	}
+	return share
 }
 
 // boundedGroup runs fns with at most limit concurrent goroutines and

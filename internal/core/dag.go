@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incranneal/internal/encoding"
+	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
+)
+
+// This file implements the DAG-parallel incremental phase. Algorithm 2
+// processes partial problems strictly sequentially, but dynamic search
+// steering (Algorithm 3) only couples two partial problems when one's
+// discarded savings have an endpoint plan inside the other — that is the
+// only channel through which solving one partial problem can change
+// another's costs. The scheduler makes that data dependency explicit as a
+// DAG, solves independent partial problems concurrently in topological
+// waves, and applies the DSS cost adjustments at the wave boundaries in a
+// fixed, index-sorted order, so the final solution, its cost and the
+// re-applied savings total are bit-identical to the sequential chain at any
+// Options.Parallelism.
+//
+// Why the results coincide: in the sequential chain, a discarded saving of
+// sub j with its other endpoint plan owned by sub k < j is applied by the
+// DSS pass immediately after sub k merges, iff sub k selected that plan —
+// and merged selections never change afterwards, so later passes can never
+// apply it either. Sub j's cost adjustments therefore depend only on the
+// solutions of its DAG predecessors, applied in ascending predecessor
+// order; savings whose other endpoint is owned by a sub k > j are never
+// applied to j sequentially, which is why applyEdge filters on the owning
+// sub of the selected endpoint rather than on mere membership in the
+// incumbent solution (under DAG order, sub k > j may already have merged).
+
+// DAGStats describes the DSS dependency graph of one incremental solve.
+type DAGStats struct {
+	// Nodes is the number of partial problems, Edges the number of
+	// dependency pairs (sub i, sub j) sharing at least one discarded
+	// saving.
+	Nodes, Edges int
+	// Waves is the number of topological waves — also the critical path
+	// length in partial problems, since every wave depends on its
+	// predecessor. Width is the widest wave: the maximum concurrency the
+	// schedule exposes.
+	Waves, Width int
+	// Density is Edges over the possible n·(n−1)/2.
+	Density float64
+	// Fallback reports that the graph was too dense (Options.
+	// DAGDensityThreshold) and the sequential chain ran instead.
+	Fallback bool
+}
+
+// dssDAG is the dependency graph the scheduler executes. Node indices are
+// partial-problem indices; all edges point from lower to higher index, the
+// direction the sequential chain would have propagated the information, so
+// the graph is acyclic by construction.
+type dssDAG struct {
+	// preds[j] lists the ascending sub indices k < j owning the other
+	// endpoint of at least one of subs[j].Discarded.
+	preds [][]int
+	// waves groups node indices (ascending within a wave) by topological
+	// depth: wave 0 has no predecessors, wave w+1 depends only on waves
+	// <= w.
+	waves [][]int
+	// planSub[pl] is the sub index owning parent plan pl, -1 if none.
+	planSub []int
+	edges   int
+	width   int
+	density float64
+}
+
+// buildDSSDAG constructs the dependency graph over the partial problems of
+// p. When noEdges is set (the DisableDSS ablation) the graph is edgeless:
+// no savings will ever be re-applied, so every partial problem is
+// independent and the schedule is a single maximally wide wave.
+func buildDSSDAG(p *mqo.Problem, subs []*mqo.SubProblem, noEdges bool) *dssDAG {
+	n := len(subs)
+	d := &dssDAG{
+		preds:   make([][]int, n),
+		planSub: mqo.PlanOwners(p, subs),
+	}
+	if !noEdges {
+		for j, sub := range subs {
+			seen := make([]bool, j)
+			for _, s := range sub.Discarded {
+				other := s.P1
+				if _, in := sub.LocalPlan(s.P1); in {
+					other = s.P2
+				}
+				if k := d.planSub[other]; k >= 0 && k < j && !seen[k] {
+					seen[k] = true
+					d.preds[j] = append(d.preds[j], k)
+				}
+			}
+			sort.Ints(d.preds[j])
+			d.edges += len(d.preds[j])
+		}
+	}
+	if n > 1 {
+		d.density = float64(d.edges) / float64(n*(n-1)/2)
+	}
+	// Topological depth in one ascending pass: every predecessor has a
+	// smaller index, so its depth is already known.
+	depth := make([]int, n)
+	for j := 0; j < n; j++ {
+		for _, k := range d.preds[j] {
+			if depth[k]+1 > depth[j] {
+				depth[j] = depth[k] + 1
+			}
+		}
+		for len(d.waves) <= depth[j] {
+			d.waves = append(d.waves, nil)
+		}
+		d.waves[depth[j]] = append(d.waves[depth[j]], j)
+	}
+	for _, w := range d.waves {
+		if len(w) > d.width {
+			d.width = len(w)
+		}
+	}
+	return d
+}
+
+// stats exports the graph shape.
+func (d *dssDAG) stats(fallback bool) *DAGStats {
+	return &DAGStats{
+		Nodes: len(d.preds), Edges: d.edges,
+		Waves: len(d.waves), Width: d.width,
+		Density: d.density, Fallback: fallback,
+	}
+}
+
+// waveLabel names the w-th wave in trace events.
+func waveLabel(w int) string { return fmt.Sprintf("wave%02d", w) }
+
+// applyEdge applies the DSS adjustments flowing over the edge pred → node:
+// every pending discarded saving of sub whose other endpoint plan is owned
+// by pred and selected is consumed, reducing the local plan cost
+// (Algorithm 3). The pending list is compacted in place, preserving order;
+// the applied values are returned in scan order so callers can reproduce
+// the sequential chain's float accumulation exactly.
+func applyEdge(selected []bool, planSub []int, pred int, sub *mqo.SubProblem, pending *[]mqo.Saving) []float64 {
+	var applied []float64
+	kept := (*pending)[:0]
+	for _, s := range *pending {
+		plan, other := -1, -1
+		if _, in := sub.LocalPlan(s.P1); in {
+			plan, other = s.P1, s.P2
+		} else if _, in := sub.LocalPlan(s.P2); in {
+			plan, other = s.P2, s.P1
+		}
+		if plan >= 0 && planSub[other] == pred && selected[other] {
+			sub.AdjustCost(plan, s.Value)
+			applied = append(applied, s.Value)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	*pending = kept
+	return applied
+}
+
+// dagJoin records the savings one edge applied, for the deterministic
+// re-applied total: summing join values sorted by (pred, node) reproduces
+// the sequential chain's accumulation order (DSS pass after merging pred,
+// remaining subs in ascending order, pending savings in scan order).
+type dagJoin struct {
+	pred, node int
+	values     []float64
+}
+
+// incrementalDAG executes the wave schedule: each wave's partial problems
+// solve concurrently on a splitWorkers share of the budget, then a serial
+// barrier merges the wave's solutions in ascending index order and applies
+// the next wave's join edges (node-ascending, predecessor-ascending).
+// Speculative encoding overlap is kept per node: a wave's encodings
+// materialise in the background while the previous wave anneals, and a
+// late join that dirties one is patched by a PreparedMQO reweight pass.
+// It mutates ttlSol, pending and tm, and returns the performed sweeps, the
+// re-applied savings magnitude and the degradations in sub index order.
+func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, dag *dssDAG, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options) (int, float64, []Degradation, error) {
+	sink := obs.FromContext(ctx)
+	n := len(subs)
+	workers := parallelism(opt)
+	selected := make([]bool, p.NumPlans())
+	dirty := make([]bool, n)
+	encs := make([]*encoding.MQOEncoding, n)
+	globals := make([]*mqo.Solution, n)
+	sweepCounts := make([]int, n)
+	subTms := make([]subTimings, n)
+	degs := make([]*Degradation, n)
+	encNanos := make([]int64, n)
+	var joins []dagJoin
+	var overlapEncNanos int64
+	merged := 0
+	for w, wave := range dag.waves {
+		// Materialise the next wave's encodings while this wave anneals.
+		// Their costs are only touched by the join pass below, after the
+		// wait; a join that does touch one sets dirty and the owning worker
+		// re-materialises via an allocation-free reweight.
+		var specWG sync.WaitGroup
+		if w+1 < len(dag.waves) {
+			for _, j := range dag.waves[w+1] {
+				j := j
+				dirty[j] = false
+				specWG.Add(1)
+				go func() {
+					defer specWG.Done()
+					t0 := time.Now()
+					encs[j] = preps[j].Encoding()
+					atomic.AddInt64(&overlapEncNanos, int64(time.Since(t0)))
+				}()
+			}
+		}
+		waveStart := time.Now()
+		split := splitWorkers(workers, len(wave))
+		fns := make([]func() error, len(wave))
+		for wi, node := range wave {
+			wi, node := wi, node
+			fns[wi] = func() error {
+				sub := subs[node]
+				subCtx := ctx
+				if sink.Enabled() {
+					subCtx = obs.WithLabel(ctx, subLabel(node))
+				}
+				if encs[node] == nil || dirty[node] {
+					t0 := time.Now()
+					encs[node] = preps[node].Encoding()
+					encNanos[node] += int64(time.Since(t0))
+					dirty[node] = false
+				}
+				best, performed, st, err := solveEncoded(subCtx, opt.Device, encs[node], opt.Runs, opt.partitionSweeps(n, node), opt.Seed+int64(1000+node), split[wi])
+				if err != nil {
+					if opt.FailFast || isPipelineError(err) {
+						return err
+					}
+					var d Degradation
+					best, d = degrade(subCtx, sub.Local, node, opt.Device.Name(), err)
+					degs[node] = &d
+				}
+				global, err := sub.ToGlobal(p, best)
+				if err != nil {
+					return err
+				}
+				globals[node] = global
+				sweepCounts[node] = performed
+				subTms[node] = st
+				return nil
+			}
+		}
+		err := boundedGroup(workers, fns)
+		specWG.Wait()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		// Serial barrier, fixed order: merge ascending, then apply the
+		// next wave's joins node-ascending / predecessor-ascending. All of
+		// a node's predecessors have merged by its wave boundary, so every
+		// edge fires exactly once, with final selections.
+		mergeStart := time.Now()
+		for _, node := range wave {
+			if err := ttlSol.Merge(globals[node]); err != nil {
+				return 0, 0, nil, err
+			}
+			for _, q := range subs[node].Queries {
+				if pl := ttlSol.Selected[q]; pl != mqo.Unassigned {
+					selected[pl] = true
+				}
+			}
+			merged++
+			if sink.Enabled() {
+				sink.Emit(obs.Event{Name: "merge", Label: subLabel(node), N: merged, Value: ttlSol.Cost(p)})
+			}
+		}
+		tm.Decode += time.Since(mergeStart)
+		if w+1 < len(dag.waves) && dag.edges > 0 {
+			dssStart := time.Now()
+			var waveApplied float64
+			dirtied := 0
+			for _, node := range dag.waves[w+1] {
+				for _, pred := range dag.preds[node] {
+					vals := applyEdge(selected, dag.planSub, pred, subs[node], &pending[node])
+					if len(vals) == 0 {
+						continue
+					}
+					if !dirty[node] {
+						dirty[node] = true
+						dirtied++
+					}
+					joins = append(joins, dagJoin{pred: pred, node: node, values: vals})
+					var sum float64
+					for _, v := range vals {
+						sum += v
+					}
+					waveApplied += sum
+					if sink.Enabled() {
+						sink.Emit(obs.Event{Name: "join", Label: subLabel(node), Run: pred, N: len(vals), Value: sum})
+					}
+				}
+			}
+			dssDur := time.Since(dssStart)
+			tm.DSS += dssDur
+			if sink.Enabled() {
+				sink.Emit(obs.Event{Name: "dss", Label: waveLabel(w), Dur: dssDur, Value: waveApplied, N: dirtied})
+				if reg := sink.Metrics(); reg != nil {
+					reg.Counter("dss.passes").Add(1)
+					reg.Counter("dss.applied").Add(waveApplied)
+				}
+			}
+		}
+		if sink.Enabled() {
+			sink.Emit(obs.Event{Name: "wave", Label: waveLabel(w), N: len(wave), Run: workers, Dur: time.Since(waveStart), Value: ttlSol.Cost(p)})
+		}
+	}
+	for _, ns := range encNanos {
+		overlapEncNanos += ns
+	}
+	tm.Encode += time.Duration(overlapEncNanos)
+	sweeps := 0
+	for i := range subs {
+		sweeps += sweepCounts[i]
+		tm.Anneal += subTms[i].anneal
+		tm.Decode += subTms[i].decode
+	}
+	// The re-applied total in the sequential chain's float association: the
+	// chain sums each DSS pass into its own subtotal (dss's return value)
+	// and adds that to the running total, and the pass after merging sub k
+	// applies exactly the edges with pred k. So: per-pred subtotals over
+	// joins sorted by (pred, node), values in scan order, then one add per
+	// pred.
+	sort.Slice(joins, func(a, b int) bool {
+		if joins[a].pred != joins[b].pred {
+			return joins[a].pred < joins[b].pred
+		}
+		return joins[a].node < joins[b].node
+	})
+	var reapplied float64
+	for i := 0; i < len(joins); {
+		var passTotal float64
+		j := i
+		for ; j < len(joins) && joins[j].pred == joins[i].pred; j++ {
+			for _, v := range joins[j].values {
+				passTotal += v
+			}
+		}
+		reapplied += passTotal
+		i = j
+	}
+	var outDegs []Degradation
+	for _, d := range degs {
+		if d != nil {
+			outDegs = append(outDegs, *d)
+		}
+	}
+	return sweeps, reapplied, outDegs, nil
+}

@@ -54,7 +54,16 @@ func referenceIncremental(ctx context.Context, t *testing.T, p *mqo.Problem, sub
 			t.Fatal(err)
 		}
 		if i+1 < len(subs) && !opt.DisableDSS {
-			dss(ttl, subs[i+1:], pending[i+1:], make([]bool, len(subs)-i-1))
+			// Rebuild the selected-plan set from scratch every pass — the
+			// quadratic behaviour the pipeline's incrementally maintained
+			// set must reproduce.
+			selected := make([]bool, p.NumPlans())
+			for _, pl := range ttl.Selected {
+				if pl != mqo.Unassigned {
+					selected[pl] = true
+				}
+			}
+			dss(selected, subs[i+1:], pending[i+1:], make([]bool, len(subs)-i-1))
 		}
 	}
 	return ttl

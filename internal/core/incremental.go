@@ -19,10 +19,17 @@ func subLabel(i int) string { return fmt.Sprintf("sub%02d", i) }
 
 // SolveIncremental runs the paper's incremental optimisation with dynamic
 // search steering (Algorithms 2 and 3). The problem is partitioned to the
-// device capacity; partial problems are then solved in sequence, each
-// encoded *after* DSS has folded the savings towards already-selected plans
-// into its plan costs, and the best partial solution w.r.t. the incumbent
-// total solution is merged in.
+// device capacity; partial problems are then solved, each encoded *after*
+// DSS has folded the savings towards already-selected plans into its plan
+// costs, and the best partial solution w.r.t. the incumbent total solution
+// is merged in.
+//
+// By default the partial problems are scheduled over the DSS dependency
+// DAG (see dag.go): sub-problems sharing no discarded savings solve
+// concurrently, bounded by Options.Parallelism, with results bit-identical
+// to the sequential chain. Options.DisableDAG — or a dependency graph
+// denser than Options.DAGDensityThreshold — runs the strictly sequential
+// chain of Algorithm 2 instead.
 //
 // Problems that already fit the device skip partitioning and are solved
 // directly; the strategies then coincide.
@@ -47,35 +54,29 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 	return out, nil
 }
 
-// IncrementalOverSubProblems runs Algorithm 2 over an already-partitioned
-// problem, processing the partial problems in the given order. It is the
-// optimisation phase of SolveIncremental, exposed for callers that control
-// partitioning themselves. The sub-problems' adjusted costs are consumed
-// (DSS mutates them); do not reuse sub across calls.
+// IncrementalOverSubProblems runs the incremental optimisation phase over
+// an already-partitioned problem. It is the optimisation phase of
+// SolveIncremental, exposed for callers that control partitioning
+// themselves. The sub-problems' adjusted costs are consumed (DSS mutates
+// them); do not reuse subs across calls.
 //
 // Encoding work is organised around prepared skeletons: every sub-problem's
 // quadratic structure is prepared once, up front and in parallel on the
 // run-level worker pool, because DSS only ever mutates plan costs (linear
 // coefficients and, through the penalty A, the clique weights — never the
-// term structure). Inside the sequential loop, the next sub-problem's
-// encoding is materialised concurrently with the tail of the current device
-// solve and patched afterwards only if that DSS pass actually touched its
-// costs. Results are bit-identical to re-encoding every sub-problem from
-// scratch after each DSS pass.
+// term structure). Both execution orders overlap the materialisation of
+// upcoming encodings with the current device solve and patch dirtied ones
+// with an in-place reweight pass. Results are bit-identical to re-encoding
+// every sub-problem from scratch after each DSS pass, and identical between
+// the DAG schedule and the sequential chain.
 func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, opt Options) (*Outcome, error) {
 	start := time.Now()
 	ttlSol := mqo.NewSolution(p)
-	sweeps := 0
-	var reapplied float64
 	var tm PhaseTimings
-	var degs []Degradation
 	// pending[i] tracks the not-yet-applied discarded savings of subs[i];
 	// DSS consumes a saving when it adjusts a plan cost, so the repeated
-	// passes of Algorithm 3 never double-apply it. dirty[i] is set whenever a
-	// pass adjusts any cost of subs[i], invalidating a speculatively
-	// materialised encoding.
+	// passes of Algorithm 3 never double-apply it.
 	pending := make([][]mqo.Saving, len(subs))
-	dirty := make([]bool, len(subs))
 	for i, sub := range subs {
 		pending[i] = append([]mqo.Saving(nil), sub.Discarded...)
 	}
@@ -90,12 +91,93 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 			return nil, err
 		}
 	}
-	enc := preps[0].Encoding()
 	tm.Encode += time.Since(encStart)
 	sink := obs.FromContext(ctx)
 	if sink.Enabled() {
 		sink.Emit(obs.Event{Name: "encode", Dur: tm.Encode, N: len(subs)})
 	}
+	// Choose the execution order: the DAG schedule whenever it is enabled
+	// and the dependency graph is sparse enough to expose concurrency.
+	var dag *dssDAG
+	var dagStats *DAGStats
+	useDAG := false
+	if !opt.DisableDAG && len(subs) > 1 {
+		dagStart := time.Now()
+		dag = buildDSSDAG(p, subs, opt.DisableDSS)
+		useDAG = dag.density <= opt.dagDensityThreshold()
+		dagStats = dag.stats(!useDAG)
+		if sink.Enabled() {
+			label := "scheduled"
+			if !useDAG {
+				label = "fallback"
+			}
+			sink.Emit(obs.Event{
+				Name: "dag", Label: label, Dur: time.Since(dagStart),
+				N: dag.edges, Run: len(dag.waves), Value: dag.density, Extra: float64(dag.width),
+			})
+			if reg := sink.Metrics(); reg != nil {
+				reg.Gauge("dag.waves").Set(float64(len(dag.waves)))
+				reg.Gauge("dag.width").Set(float64(dag.width))
+				// With wave-barrier scheduling the critical path in partial
+				// problems equals the wave count; kept as its own gauge so
+				// dashboards survive a move to event-driven scheduling.
+				reg.Gauge("dag.critical_path").Set(float64(len(dag.waves)))
+			}
+		}
+	}
+	var sweeps int
+	var reapplied float64
+	var degs []Degradation
+	var err error
+	if useDAG {
+		sweeps, reapplied, degs, err = incrementalDAG(ctx, p, subs, preps, dag, pending, ttlSol, &tm, opt)
+	} else {
+		sweeps, reapplied, degs, err = incrementalSequential(ctx, p, subs, preps, pending, ttlSol, &tm, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if reg := sink.Metrics(); reg != nil {
+		var es encoding.EncodingStats
+		for _, pp := range preps {
+			s := pp.Stats()
+			es.Materialised += s.Materialised
+			es.Reweighted += s.Reweighted
+		}
+		reg.Counter("encode.materialise").Add(float64(es.Materialised))
+		reg.Counter("encode.reweight").Add(float64(es.Reweighted))
+	}
+	out, err := finalize(p, ttlSol, "incremental", start)
+	if err != nil {
+		return nil, err
+	}
+	out.NumPartitions = len(subs)
+	out.ReappliedSavings = reapplied
+	out.Sweeps = sweeps
+	out.Timings = tm
+	out.Degradations = degs
+	out.DAG = dagStats
+	return out, nil
+}
+
+// incrementalSequential is the strictly sequential chain of Algorithm 2:
+// partial problems in index order, one DSS pass over all remaining partial
+// problems after each merge. It mutates ttlSol, pending and tm, and returns
+// the performed sweeps, the re-applied savings magnitude and the
+// degradations in sub index order.
+func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options) (int, float64, []Degradation, error) {
+	sink := obs.FromContext(ctx)
+	sweeps := 0
+	var reapplied float64
+	var degs []Degradation
+	// dirty[i] is set whenever a DSS pass adjusts any cost of subs[i],
+	// invalidating a speculatively materialised encoding. selected marks
+	// the plans of the incumbent solution and is maintained incrementally
+	// across merges (each merge only adds its own sub's selections), so a
+	// DSS pass costs O(pending) rather than O(queries + pending).
+	dirty := make([]bool, len(subs))
+	selected := make([]bool, p.NumPlans())
+	enc := preps[0].Encoding()
 	// Overlapped encode time is accumulated separately: the goroutine runs
 	// while the device anneals, so it adds phase work without wall-clock.
 	var overlapEncNanos int64
@@ -122,7 +204,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 		specWG.Wait()
 		if err != nil {
 			if opt.FailFast || isPipelineError(err) {
-				return nil, err
+				return 0, 0, nil, err
 			}
 			// Graceful degradation: the device is gone for this partial
 			// problem, but the incumbent and the remaining sub-problems are
@@ -138,10 +220,15 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 		decStart := time.Now()
 		global, err := sub.ToGlobal(p, best)
 		if err != nil {
-			return nil, err
+			return 0, 0, nil, err
 		}
 		if err := ttlSol.Merge(global); err != nil {
-			return nil, err
+			return 0, 0, nil, err
+		}
+		for _, q := range sub.Queries {
+			if pl := ttlSol.Selected[q]; pl != mqo.Unassigned {
+				selected[pl] = true
+			}
 		}
 		tm.Decode += time.Since(decStart)
 		if sink.Enabled() {
@@ -154,7 +241,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 			enc = specEnc
 			if !opt.DisableDSS {
 				dssStart := time.Now()
-				applied := dss(ttlSol, subs[i+1:], pending[i+1:], dirty[i+1:])
+				applied := dss(selected, subs[i+1:], pending[i+1:], dirty[i+1:])
 				dssDur := time.Since(dssStart)
 				reapplied += applied
 				tm.DSS += dssDur
@@ -188,26 +275,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 		}
 	}
 	tm.Encode += time.Duration(atomic.LoadInt64(&overlapEncNanos))
-	if reg := sink.Metrics(); reg != nil {
-		var es encoding.EncodingStats
-		for _, pp := range preps {
-			s := pp.Stats()
-			es.Materialised += s.Materialised
-			es.Reweighted += s.Reweighted
-		}
-		reg.Counter("encode.materialise").Add(float64(es.Materialised))
-		reg.Counter("encode.reweight").Add(float64(es.Reweighted))
-	}
-	out, err := finalize(p, ttlSol, "incremental", start)
-	if err != nil {
-		return nil, err
-	}
-	out.NumPartitions = len(subs)
-	out.ReappliedSavings = reapplied
-	out.Sweeps = sweeps
-	out.Timings = tm
-	out.Degradations = degs
-	return out, nil
+	return sweeps, reapplied, degs, nil
 }
 
 // dss implements Algorithm 3: for every still-unsolved partial problem and
@@ -215,14 +283,10 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 // the intermediate solution and the other endpoint is a plan of the
 // unsolved problem, that plan's cost is reduced by the saving's value. The
 // saving is then consumed and the sub-problem flagged dirty so cached
-// encodings know to re-materialise. Returns the re-applied magnitude.
-func dss(intSol *mqo.Solution, remaining []*mqo.SubProblem, pending [][]mqo.Saving, dirty []bool) float64 {
-	selected := make(map[int]bool, len(intSol.Selected))
-	for _, pl := range intSol.Selected {
-		if pl != mqo.Unassigned {
-			selected[pl] = true
-		}
-	}
+// encodings know to re-materialise. selected marks the plans of the
+// intermediate solution; the caller maintains it across merges. Returns the
+// re-applied magnitude.
+func dss(selected []bool, remaining []*mqo.SubProblem, pending [][]mqo.Saving, dirty []bool) float64 {
 	var reapplied float64
 	for i, sub := range remaining {
 		kept := pending[i][:0]

@@ -35,14 +35,13 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 	// partial-problem order regardless of goroutine completion order.
 	degs := make([]*Degradation, len(subs))
 	// The worker budget splits across the two levels: partitions run
-	// concurrently out here, and each device solve gets the leftover share
-	// for its run pool, so the total stays near the configured bound
-	// instead of multiplying.
+	// concurrently out here, and each device solve gets its share for the
+	// run pool, so the total stays at the configured bound instead of
+	// multiplying. splitWorkers spreads the remainder, so a budget of 6
+	// over 4 partitions yields run pools of 2,2,1,1 rather than rounding
+	// every share down to sequential.
 	workers := parallelism(opt)
-	perSolve := workers / len(subs)
-	if perSolve < 1 {
-		perSolve = -1 // sequential runs inside each partition solve
-	}
+	perSolve := splitWorkers(workers, len(subs))
 	sink := obs.FromContext(ctx)
 	var mu sync.Mutex
 	fns := make([]func() error, len(subs))
@@ -63,7 +62,7 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 			if sink.Enabled() {
 				sink.Emit(obs.Event{Name: "encode", Label: subLabel(i), Dur: encDur, N: 1})
 			}
-			best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), perSolve)
+			best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), perSolve[i])
 			if err != nil {
 				if opt.FailFast || isPipelineError(err) {
 					return err

@@ -118,6 +118,25 @@ func (sp *SubProblem) ToGlobal(parent *Problem, local *Solution) (*Solution, err
 	return g, nil
 }
 
+// PlanOwners maps every plan of parent to the index of the sub-problem
+// owning it, or -1 for plans outside every sub. Sub-problems produced by the
+// partitioning phase partition the query set, so each plan has at most one
+// owner; the map is the lookup the DSS dependency DAG is built from (a
+// discarded saving couples exactly the two sub-problems owning its
+// endpoints).
+func PlanOwners(parent *Problem, subs []*SubProblem) []int {
+	owner := make([]int, parent.NumPlans())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for si, sub := range subs {
+		for _, pl := range sub.PlanGlobal {
+			owner[pl] = si
+		}
+	}
+	return owner
+}
+
 // DiscardedMagnitude returns the accumulated value of the savings this
 // sub-problem lost to the partitioning — the information DSS re-applies.
 func (sp *SubProblem) DiscardedMagnitude() float64 {

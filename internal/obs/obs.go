@@ -43,7 +43,10 @@ type Event struct {
 	T time.Duration
 	// Name identifies the event kind: "run" (one annealing run finished,
 	// with its convergence trajectory), "anneal", "encode", "decode",
-	// "dss", "merge", "bisect", "partition", "pool", "prepared", "solve".
+	// "dss", "merge", "bisect", "partition", "pool", "prepared", "solve",
+	// and the DAG scheduler's "dag" (graph built: edges, waves, density),
+	// "wave" (one topological wave solved) and "join" (one dependency edge
+	// applied its DSS adjustments at a wave boundary).
 	Name string
 	// Device is the solver that produced the event ("da", "sa", ...).
 	Device string

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestGenerateDAGSweepTopology verifies the structural guarantee the DAG
+// scheduler tests rely on: savings exist only within communities and across
+// explicitly linked pairs, and the default topology is the two-wave stride.
+func TestGenerateDAGSweepTopology(t *testing.T) {
+	in, err := GenerateDAGSweep(DAGSweepConfig{
+		Queries: 48, PPQ: 3, Communities: 8,
+		IntraDensity: 0.4, CrossDensity: 0.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := [][2]int{{0, 4}, {1, 5}, {2, 6}, {3, 7}}
+	if len(in.Pairs) != len(wantPairs) {
+		t.Fatalf("default stride pairs = %v, want %v", in.Pairs, wantPairs)
+	}
+	for i, pr := range wantPairs {
+		if in.Pairs[i] != pr {
+			t.Fatalf("default stride pairs = %v, want %v", in.Pairs, wantPairs)
+		}
+	}
+	if got := len(in.Communities); got != 8 {
+		t.Fatalf("communities = %d, want 8", got)
+	}
+	communityOf := make([]int, in.Problem.NumQueries())
+	total := 0
+	for c, qs := range in.Communities {
+		if len(qs) != 6 {
+			t.Errorf("community %d has %d queries, want 6", c, len(qs))
+		}
+		for i, q := range qs {
+			if i > 0 && qs[i-1] >= q {
+				t.Errorf("community %d queries not ascending: %v", c, qs)
+			}
+			communityOf[q] = c
+			total++
+		}
+	}
+	if total != 48 {
+		t.Fatalf("communities cover %d queries, want 48", total)
+	}
+	linked := map[[2]int]bool{}
+	for _, pr := range in.Pairs {
+		linked[pr] = true
+	}
+	ppq := 3
+	crossLinked := 0
+	for _, sv := range in.Problem.Savings() {
+		c1, c2 := communityOf[sv.P1/ppq], communityOf[sv.P2/ppq]
+		if c1 == c2 {
+			continue
+		}
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		if !linked[[2]int{c1, c2}] {
+			t.Fatalf("saving %v crosses unlinked communities (%d, %d)", sv, c1, c2)
+		}
+		crossLinked++
+	}
+	if crossLinked == 0 {
+		t.Fatal("no cross-community savings generated; DSS joins would be vacuous")
+	}
+
+	// Determinism: same seed, same instance.
+	again, err := GenerateDAGSweep(DAGSweepConfig{
+		Queries: 48, PPQ: 3, Communities: 8,
+		IntraDensity: 0.4, CrossDensity: 0.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Problem.Savings()) != len(in.Problem.Savings()) {
+		t.Fatalf("regeneration changed savings count: %d vs %d", len(again.Problem.Savings()), len(in.Problem.Savings()))
+	}
+
+	// Extraction: one sub per community, Discarded covering exactly the
+	// cross-community savings of its linked pairs.
+	subs, err := in.SubProblems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 8 {
+		t.Fatalf("extracted %d subs, want 8", len(subs))
+	}
+	discarded := 0
+	for _, sub := range subs {
+		discarded += len(sub.Discarded)
+	}
+	// Every cross saving is discarded by both endpoint subs.
+	if discarded != 2*crossLinked {
+		t.Fatalf("discarded savings %d, want %d (2x %d cross savings)", discarded, 2*crossLinked, crossLinked)
+	}
+}
+
+// TestGenerateDAGSweepExplicitPairs pins custom topologies and validation.
+func TestGenerateDAGSweepExplicitPairs(t *testing.T) {
+	in, err := GenerateDAGSweep(DAGSweepConfig{
+		Queries: 12, PPQ: 2, Communities: 3,
+		CommunityPairs: [][2]int{{0, 1}, {0, 2}, {1, 2}},
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Pairs) != 3 {
+		t.Fatalf("pairs = %v", in.Pairs)
+	}
+	if _, err := GenerateDAGSweep(DAGSweepConfig{
+		Queries: 12, PPQ: 2, Communities: 3,
+		CommunityPairs: [][2]int{{2, 1}},
+		Seed:           3,
+	}); err == nil {
+		t.Fatal("inverted pair accepted")
+	}
+	if _, err := GenerateDAGSweep(DAGSweepConfig{Queries: 2, PPQ: 2, Communities: 3}); err == nil {
+		t.Fatal("more communities than queries accepted")
+	}
+}
