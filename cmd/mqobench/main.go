@@ -29,6 +29,11 @@
 // strictly sequential chain, -dag-density tunes the fallback threshold, and
 // -fig dag runs the execution-order ablation (sequential vs. DAG-parallel
 // vs. DSS off on sparse-dependency workloads).
+//
+// Serving: -fig serve load-tests the mqoserve HTTP stack in-process — N
+// concurrent clients per scale level against a 2-worker fleet over loopback
+// HTTP — and reports throughput with p50/p95/p99 latency per level
+// (BENCH_serve.json records a reference run).
 package main
 
 import (
@@ -48,7 +53,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, convergence, dag, ablation or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, convergence, dag, serve, ablation or all")
 		scale     = flag.String("scale", "reduced", "experiment scale: smoke, reduced or paper")
 		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
 		outDir    = flag.String("out", "", "write per-figure files to this directory instead of stdout")
@@ -121,6 +126,7 @@ func main() {
 		{"phases", func() (*bench.Report, error) { return bench.PhaseReport(ctx, cfg, sc) }},
 		{"convergence", func() (*bench.Report, error) { return bench.Convergence(ctx, cfg, sc) }},
 		{"dag", func() (*bench.Report, error) { return bench.AblationDAG(ctx, cfg, sc) }},
+		{"serve", func() (*bench.Report, error) { return bench.ServeLoad(ctx, cfg, sc) }},
 		{"ablation", func() (*bench.Report, error) { return nil, nil }}, // expanded below
 	}
 	selected := map[string]bool{}

@@ -1,0 +1,156 @@
+// Serving: the MQO pipeline as a long-running shared service. A client
+// submits a batch of query-optimisation problems to an mqoserve daemon over
+// HTTP, consumes each solve's incumbent stream (one NDJSON event per merged
+// partial problem) while the annealer is still working, and prints the
+// final plan selection.
+//
+// Run with: go run ./examples/serving
+//
+// With no flags the example starts an in-process server on a loopback
+// listener — the full mqoserve stack: admission queue, solver fleet,
+// streaming sessions — so it is self-contained. Point -addr at a real
+// daemon (`mqoserve -addr :8080`, then -addr localhost:8080) to drive that
+// instead.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"incranneal"
+	"incranneal/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "mqoserve address (host:port); empty starts an in-process server")
+		batch   = flag.Int("batch", 3, "problems in the submitted batch")
+		queries = flag.Int("queries", 48, "queries per problem")
+		ppq     = flag.Int("ppq", 3, "plans per query")
+	)
+	flag.Parse()
+
+	target := *addr
+	if target == "" {
+		// Self-contained mode: the whole serving stack in-process, solves
+		// partitioned on an emulated 40-variable device so the incumbent
+		// stream has several merge points to show.
+		srv, err := serve.New(serve.Config{Fleet: 2, Capacity: 40})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve(l) //nolint:errcheck // ErrServerClosed after Shutdown
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck
+		}()
+		target = l.Addr().String()
+		fmt.Printf("started in-process mqoserve on %s (fleet 2, capacity 40)\n", target)
+	}
+	url := "http://" + target + "/v1/solve?stream=1"
+
+	fmt.Printf("submitting a batch of %d problems (%d queries × %d plans each)\n\n", *batch, *queries, *ppq)
+	var wg sync.WaitGroup
+	for i := 0; i < *batch; i++ {
+		p, err := incranneal.GenerateSweep(incranneal.SweepConfig{
+			Queries: *queries, PPQ: *ppq, Communities: 4,
+			DensityLow: 0.05, DensityHigh: 0.8,
+			Seed: int64(1000 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, greedy := incranneal.Greedy(p)
+		wg.Add(1)
+		go func(i int, greedy float64) {
+			defer wg.Done()
+			if err := solveStreaming(url, i, p, greedy); err != nil {
+				log.Fatalf("problem %d: %v", i, err)
+			}
+		}(i, greedy)
+	}
+	wg.Wait()
+}
+
+// solveStreaming submits one problem with streaming enabled and prints the
+// incumbent trajectory as the server reports it.
+func solveStreaming(url string, i int, p *incranneal.Problem, greedy float64) error {
+	body, err := json.Marshal(map[string]any{
+		"problem": p,
+		"options": map[string]any{"runs": 4, "totalSweeps": 4000, "seed": int64(100 + i)},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+
+	// Each NDJSON line is one event: accepted, then incumbents, then the
+	// outcome (or error). The incumbent cost covers the queries merged so
+	// far, so it grows toward the final cost as coverage completes.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e struct {
+			Type          string  `json:"type"`
+			ID            string  `json:"id"`
+			Merged        int     `json:"merged"`
+			Cost          float64 `json:"cost"`
+			ElapsedMillis int64   `json:"elapsedMillis"`
+			Error         string  `json:"error"`
+			Outcome       *struct {
+				Cost       float64 `json:"cost"`
+				Selected   []int   `json:"selected"`
+				Partitions int     `json:"partitions"`
+				Strategy   string  `json:"strategy"`
+			} `json:"outcome"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("bad stream line %q: %w", sc.Text(), err)
+		}
+		switch e.Type {
+		case "accepted":
+			fmt.Printf("problem %d: accepted as %s\n", i, e.ID)
+		case "incumbent":
+			fmt.Printf("problem %d: incumbent after %d merged partitions: cost %.2f (t=%dms)\n",
+				i, e.Merged, e.Cost, e.ElapsedMillis)
+		case "outcome":
+			fmt.Printf("problem %d: final cost %.2f over %d partitions (%s strategy) — greedy pays %.2f\n",
+				i, e.Outcome.Cost, e.Outcome.Partitions, e.Outcome.Strategy, greedy)
+			sel := e.Outcome.Selected
+			n := 4
+			if len(sel) < n {
+				n = len(sel)
+			}
+			for q := 0; q < n; q++ {
+				fmt.Printf("problem %d:   q%d -> plan %d\n", i, q, sel[q])
+			}
+			if len(sel) > n {
+				fmt.Printf("problem %d:   ... %d more queries\n", i, len(sel)-n)
+			}
+		case "error":
+			return fmt.Errorf("server: %s", e.Error)
+		}
+	}
+	return sc.Err()
+}

@@ -178,21 +178,58 @@ func (o Options) coreOptions() core.Options {
 // Solve optimises p end to end: it selects one plan per query minimising
 // total cost minus realised savings, partitioning the problem and steering
 // the search per the configured strategy whenever p exceeds the device
-// capacity.
+// capacity. It is shorthand for running a Session to completion; callers
+// that want progress visibility use NewSession directly.
 func Solve(ctx context.Context, p *Problem, opt Options) (*Outcome, error) {
+	sess, err := NewSession(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run(ctx)
+}
+
+// Incumbent is one point of an in-progress solve's incumbent-solution
+// trajectory, streamed by Session.Incumbents.
+type Incumbent = core.Incumbent
+
+// Session is the lifecycle handle on a single MQO solve: Start it, consume
+// the incumbent stream while partial problems merge, and Wait for the
+// final Outcome. Results are bit-identical to the one-shot Solve with the
+// same problem, options and seed.
+type Session struct {
+	inner *core.Session
+}
+
+// NewSession prepares a solve of p under opt without starting it.
+func NewSession(p *Problem, opt Options) (*Session, error) {
 	if p == nil {
 		return nil, fmt.Errorf("incranneal: nil problem")
 	}
-	copt := opt.coreOptions()
+	sess := core.NewSession(p, opt.coreOptions())
 	switch opt.Strategy {
 	case StrategyParallel:
-		return core.SolveParallel(ctx, p, copt)
+		sess.Strategy = core.StrategyParallel
 	case StrategyDefault:
-		return core.SolveDefault(ctx, p, copt)
+		sess.Strategy = core.StrategyDefault
 	default:
-		return core.SolveIncremental(ctx, p, copt)
+		sess.Strategy = core.StrategyIncremental
 	}
+	return &Session{inner: sess}, nil
 }
+
+// Start launches the solve in the background; cancelling ctx cancels it.
+func (s *Session) Start(ctx context.Context) error { return s.inner.Start(ctx) }
+
+// Incumbents streams incumbent points while the solve runs. The channel
+// closes after the final point; slow consumers drop old points, never the
+// final one.
+func (s *Session) Incumbents() <-chan Incumbent { return s.inner.Incumbents() }
+
+// Wait blocks until the solve completes and returns its Outcome.
+func (s *Session) Wait() (*Outcome, error) { return s.inner.Wait() }
+
+// Run is Start followed by Wait.
+func (s *Session) Run(ctx context.Context) (*Outcome, error) { return s.inner.Run(ctx) }
 
 // Greedy returns the naive per-query cheapest-plan selection and its total
 // cost — the baseline MQO improves on (Example 3.1).

@@ -31,6 +31,13 @@ type Scale struct {
 	// Fig1MaxQueries is the query axis bound of the qubit-requirement
 	// figure (paper: ~40 at 10 PPQ).
 	Fig1MaxQueries int
+	// ServeClients is the concurrency axis of the mqoserve load figure:
+	// each entry is a number of simultaneous clients hammering the
+	// service.
+	ServeClients []int
+	// ServeRequests is the number of solve requests each client issues
+	// per concurrency level.
+	ServeRequests int
 }
 
 // PaperScale returns the paper's exact experiment dimensions.
@@ -46,6 +53,8 @@ func PaperScale() Scale {
 		RuntimeDensities: []float64{0.2, 0.5, 0.8},
 		MaxQueriesHQA:    500,
 		Fig1MaxQueries:   40,
+		ServeClients:     []int{1, 4, 8, 16},
+		ServeRequests:    8,
 	}
 }
 
@@ -64,6 +73,8 @@ func ReducedScale() Scale {
 		RuntimeDensities: []float64{0.2, 0.5, 0.8},
 		MaxQueriesHQA:    128,
 		Fig1MaxQueries:   40,
+		ServeClients:     []int{1, 4, 8},
+		ServeRequests:    6,
 	}
 }
 
@@ -81,6 +92,8 @@ func SmokeScale() Scale {
 		RuntimeDensities: []float64{0.2, 0.8},
 		MaxQueriesHQA:    32,
 		Fig1MaxQueries:   30,
+		ServeClients:     []int{1, 2, 4},
+		ServeRequests:    3,
 	}
 }
 

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"incranneal/internal/serve"
+	"incranneal/internal/workload"
+)
+
+// ServeLoad is the mqoserve load figure: it starts an in-process serving
+// stack (real HTTP over a loopback listener, the same code path as the
+// mqoserve binary), hammers it with N concurrent clients at each
+// concurrency level of the scale, and reports throughput and latency
+// percentiles per level. Every request is a seeded solve of a
+// partition-sized instance, so the figure measures the serving layer —
+// queueing, admission, fleet scheduling — on top of a realistic solve, not
+// an empty handler.
+//
+// Sanity invariants checked while measuring: all responses for the same
+// (instance, seed) pair must agree on cost at every concurrency level
+// (serving-layer determinism), and no request may be rejected (the queue is
+// sized to the offered load; rejections would make throughput numbers
+// meaningless).
+func ServeLoad(ctx context.Context, cfg Config, scale Scale) (*Report, error) {
+	cfg = cfg.withDefaults()
+	clients := scale.ServeClients
+	if len(clients) == 0 {
+		clients = []int{1, 2, 4}
+	}
+	perClient := scale.ServeRequests
+	if perClient <= 0 {
+		perClient = 3
+	}
+	maxClients := clients[len(clients)-1]
+
+	// One partition-sized instance per class: big enough to exercise the
+	// incremental path, small enough that a load sweep stays minutes.
+	queries := scale.QuerySet[0]
+	in, err := workload.GenerateSweep(workload.SweepConfig{
+		Queries: queries, PPQ: scale.StandardPPQ, Communities: 4,
+		DensityLow: 0.05, DensityHigh: 0.8,
+		Seed: classSeed("serve", queries, scale.StandardPPQ, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := in.Problem
+	body, err := json.Marshal(map[string]any{
+		"problem": p,
+		"options": map[string]any{
+			"runs":        cfg.Runs,
+			"totalSweeps": daSweeps(cfg, p),
+			"seed":        classSeed("serve-req", queries, 0, 0),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Fleet:      2,
+		QueueDepth: maxClients * perClient, // sized to the offered load: no rejects
+		Capacity:   cfg.DACapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l) //nolint:errcheck // ErrServerClosed after Shutdown
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		srv.Shutdown(sctx) //nolint:errcheck
+	}()
+	url := "http://" + l.Addr().String() + "/v1/solve"
+	httpc := &http.Client{}
+
+	r := &Report{
+		ID:    "serve",
+		Title: "mqoserve load: throughput and latency vs. concurrent clients",
+		Header: append(cfg.headerLines(scale),
+			fmt.Sprintf("fleet=2 queue=%d instance=%dq×%dppq requests_per_client=%d transport=loopback HTTP",
+				maxClients*perClient, queries, scale.StandardPPQ, perClient)),
+		Columns: []string{"clients", "requests", "ok", "rejected", "wall", "throughput (req/s)", "p50", "p95", "p99"},
+		Notes: []string{
+			"Each request solves the same seeded instance; identical costs across all responses double-check serving-layer determinism under load.",
+			"The queue is sized to the offered load, so 'rejected' must read 0; admission control itself is covered by the serve package tests.",
+		},
+	}
+
+	var refCost float64
+	for li, n := range clients {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lats := make([]time.Duration, 0, n*perClient)
+		costs := make([]float64, 0, n*perClient)
+		var rejected int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var firstErr error
+		start := time.Now()
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := 0; q < perClient; q++ {
+					t0 := time.Now()
+					resp, err := httpc.Post(url, "application/json", bytes.NewReader(body))
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					rb, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					lat := time.Since(t0)
+					mu.Lock()
+					switch {
+					case err != nil:
+						if firstErr == nil {
+							firstErr = err
+						}
+					case resp.StatusCode == http.StatusServiceUnavailable:
+						rejected++
+					case resp.StatusCode != http.StatusOK:
+						if firstErr == nil {
+							firstErr = fmt.Errorf("status %d: %s", resp.StatusCode, rb)
+						}
+					default:
+						var out struct {
+							Cost float64 `json:"cost"`
+						}
+						if err := json.Unmarshal(rb, &out); err != nil {
+							if firstErr == nil {
+								firstErr = err
+							}
+						} else {
+							lats = append(lats, lat)
+							costs = append(costs, out.Cost)
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		if firstErr != nil {
+			return nil, fmt.Errorf("serve load, %d clients: %w", n, firstErr)
+		}
+		for _, c := range costs {
+			if li == 0 && refCost == 0 {
+				refCost = c
+			}
+			if c != refCost {
+				return nil, fmt.Errorf("serve load, %d clients: cost %v diverges from %v — serving layer leaked scheduling into results", n, c, refCost)
+			}
+		}
+		tput := float64(len(lats)) / wall.Seconds()
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", n*perClient),
+			fmt.Sprintf("%d", len(lats)),
+			fmt.Sprintf("%d", rejected),
+			wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", tput),
+			percentile(lats, 0.50).Round(time.Millisecond).String(),
+			percentile(lats, 0.95).Round(time.Millisecond).String(),
+			percentile(lats, 0.99).Round(time.Millisecond).String(),
+		})
+	}
+	return r, nil
+}
+
+// percentile returns the q-quantile of lats (nearest-rank); zero when
+// empty.
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestServeLoadSmoke runs the mqoserve load figure at smoke scale: one row
+// per concurrency level, every request answered, none rejected. The
+// determinism cross-check (identical costs at every level) happens inside
+// ServeLoad, which errors on divergence.
+func TestServeLoadSmoke(t *testing.T) {
+	scale := SmokeScale()
+	r, err := ServeLoad(context.Background(), ConfigFor(scale), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(scale.ServeClients) {
+		t.Fatalf("rows = %d, want one per concurrency level (%d)", len(r.Rows), len(scale.ServeClients))
+	}
+	for _, row := range r.Rows {
+		clients, requests, ok, rejected := row[0], row[1], row[2], row[3]
+		if ok != requests {
+			t.Errorf("%s clients: %s/%s requests answered", clients, ok, requests)
+		}
+		if rejected != "0" {
+			t.Errorf("%s clients: %s rejected; the queue is sized to the load", clients, rejected)
+		}
+		n, err := strconv.Atoi(clients)
+		if err != nil || n <= 0 {
+			t.Errorf("bad clients cell %q", clients)
+		}
+	}
+}
+
+// TestPercentile pins the nearest-rank quantiles the load figure reports.
+func TestPercentile(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond // 1..100ms
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lats, c.q); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.q*100, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}

@@ -26,6 +26,11 @@
 //
 // All middleware emit obs events ("retry", "trip", "fallback") and counters
 // when a sink is on the context, and emit nothing otherwise.
+//
+// State (breaker trip counts, retry budgets) lives inside the wrapped
+// stack, not in globals: callers that need isolated failure domains build
+// one stack per domain — the serving fleet (internal/serve) builds one per
+// worker slot, so a device tripping on one slot does not poison the others.
 package resilience
 
 import (

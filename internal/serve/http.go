@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"context"
+
+	"incranneal/internal/core"
+	"incranneal/internal/mqo"
+)
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Problem is the MQO instance in the mqogen/mqosolve interchange
+	// format (planCosts grouped by query, savings over global plan
+	// indices).
+	Problem *mqo.Problem `json:"problem"`
+	// Options tunes the solve; zero values take the server defaults.
+	Options SolveOptions `json:"options"`
+	// Stream switches the response to NDJSON event streaming (also
+	// selectable with the ?stream=1 query parameter).
+	Stream bool `json:"stream,omitempty"`
+}
+
+// SolveOptions is the per-request slice of core.Options the server
+// exposes, plus scheduling fields (device, strategy, deadline).
+type SolveOptions struct {
+	// Device overrides the fleet's default device for this solve: da,
+	// da-pt, sa, hqa or va.
+	Device string `json:"device,omitempty"`
+	// Strategy is incremental (default), parallel or default.
+	Strategy string `json:"strategy,omitempty"`
+	// Runs per (partial) problem; 0 takes the server default.
+	Runs int `json:"runs,omitempty"`
+	// TotalSweeps is the overall annealing budget; 0 takes the server
+	// default (usually the device default).
+	TotalSweeps int `json:"totalSweeps,omitempty"`
+	// Seed pins the solve; identical problem+options+seed yield a
+	// bit-identical outcome, through the server or standalone.
+	Seed int64 `json:"seed,omitempty"`
+	// Capacity overrides the device variable capacity (partial-problem
+	// size bound); 0 takes the server setting.
+	Capacity int `json:"capacity,omitempty"`
+	// DeadlineMillis bounds queue wait + solve; 0 takes the server
+	// default, values above the server maximum are clamped.
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+	// DisableDSS turns dynamic search steering off (ablation).
+	DisableDSS bool `json:"disableDss,omitempty"`
+}
+
+// SolveResponse is the final answer for one solve — the JSON shape of a
+// core.Outcome plus serving metadata.
+type SolveResponse struct {
+	ID               string  `json:"id"`
+	Strategy         string  `json:"strategy"`
+	Device           string  `json:"device"`
+	Cost             float64 `json:"cost"`
+	Selected         []int   `json:"selected"`
+	Partitions       int     `json:"partitions"`
+	Sweeps           int     `json:"sweeps"`
+	DiscardedSavings float64 `json:"discardedSavings"`
+	ReappliedSavings float64 `json:"reappliedSavings"`
+	Degradations     int     `json:"degradations"`
+	// QueueMillis is time spent waiting for a fleet slot; SolveMillis is
+	// the solve itself; TotalMillis spans admission to response.
+	QueueMillis int64 `json:"queueMillis"`
+	SolveMillis int64 `json:"solveMillis"`
+	TotalMillis int64 `json:"totalMillis"`
+}
+
+// StreamEvent is one NDJSON line of a streamed solve. Type is "accepted",
+// "incumbent", "outcome" or "error"; exactly one of the payload fields is
+// set per type.
+type StreamEvent struct {
+	Type string `json:"type"`
+	// ID accompanies "accepted" and "error".
+	ID string `json:"id,omitempty"`
+	// QueueDepth accompanies "accepted": jobs queued ahead of this one.
+	QueueDepth int `json:"queueDepth,omitempty"`
+	// Merged, Cost and ElapsedMillis accompany "incumbent".
+	Merged        int     `json:"merged,omitempty"`
+	Sub           int     `json:"sub,omitempty"`
+	Cost          float64 `json:"cost,omitempty"`
+	ElapsedMillis int64   `json:"elapsedMillis,omitempty"`
+	// Outcome accompanies "outcome".
+	Outcome *SolveResponse `json:"outcome,omitempty"`
+	// Error accompanies "error".
+	Error string `json:"error,omitempty"`
+}
+
+// errorBody is the JSON error envelope of non-streamed failures.
+type errorBody struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retryAfterSeconds,omitempty"`
+}
+
+// Healthz is the GET /healthz body.
+type Healthz struct {
+	Status        string `json:"status"` // "ok" or "draining"
+	QueueDepth    int    `json:"queueDepth"`
+	QueueCapacity int    `json:"queueCapacity"`
+	Fleet         int    `json:"fleet"`
+	Device        string `json:"device"`
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, Healthz{
+		Status:        status,
+		QueueDepth:    s.queueDepth(),
+		QueueCapacity: s.cfg.queueDepth(),
+		Fleet:         s.cfg.fleet(),
+		Device:        s.cfg.device(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	if reg == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"metrics": "disabled (start the server with a metrics sink)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, reg.Snapshot())
+}
+
+// handleSolve is the admission path: parse → deadline context → bounded
+// queue (reject-on-full) → hand off to a fleet worker → stream or await
+// the result.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"), 0)
+		return
+	}
+	reg := s.registry()
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		reg.Counter("serve.admission.bad_request").Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err), 0)
+		return
+	}
+	if req.Problem == nil || req.Problem.NumQueries() == 0 {
+		reg.Counter("serve.admission.bad_request").Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request carries no problem"), 0)
+		return
+	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" || v == "ndjson" {
+		req.Stream = true
+	}
+	strategy := req.Options.Strategy
+	if strategy == "" {
+		strategy = core.StrategyIncremental
+	}
+	switch strategy {
+	case core.StrategyIncremental, core.StrategyParallel, core.StrategyDefault:
+	default:
+		reg.Counter("serve.admission.bad_request").Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", strategy), 0)
+		return
+	}
+	device := req.Options.Device
+	if device == "" {
+		device = s.cfg.device()
+	}
+	if _, err := s.cfg.newRawDevice(device); err != nil {
+		reg.Counter("serve.admission.bad_request").Add(1)
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+
+	deadline := s.cfg.defaultDeadline()
+	if req.Options.DeadlineMillis > 0 {
+		deadline = time.Duration(req.Options.DeadlineMillis) * time.Millisecond
+	}
+	if max := s.cfg.maxDeadline(); deadline > max {
+		deadline = max
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	capacity := req.Options.Capacity
+	if capacity == 0 {
+		capacity = s.cfg.Capacity
+	}
+	runs := req.Options.Runs
+	if runs == 0 {
+		runs = s.cfg.defaultRuns()
+	}
+	sweeps := req.Options.TotalSweeps
+	if sweeps == 0 {
+		sweeps = s.cfg.DefaultSweeps
+	}
+	j := &job{
+		id:      s.ids.next(),
+		problem: req.Problem,
+		opt: core.Options{
+			Capacity:    capacity,
+			Runs:        runs,
+			TotalSweeps: sweeps,
+			Seed:        req.Options.Seed,
+			Parallelism: s.perSolveParallelism(),
+			DisableDSS:  req.Options.DisableDSS,
+		},
+		strategy: strategy,
+		device:   device,
+		ctx:      ctx,
+		admitted: time.Now(),
+		sess:     make(chan *core.Session, 1),
+		result:   make(chan jobResult, 1),
+	}
+
+	queued := s.queueDepth()
+	ok, reason := s.admit(j)
+	if !ok {
+		retry := s.cfg.retryAfter()
+		switch reason {
+		case "draining":
+			reg.Counter("serve.admission.rejected_draining").Add(1)
+			retry = 5 * retry // the process is going away; back off harder
+		default:
+			reg.Counter("serve.admission.rejected_full").Add(1)
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("rejected: %s", reason), int((retry+time.Second-1)/time.Second))
+		return
+	}
+	reg.Counter("serve.admission.accepted").Add(1)
+	reg.Gauge("serve.queue.depth").Set(float64(s.queueDepth()))
+	defer s.inflight.Done() // balanced by admit's Add under the lock
+
+	if req.Stream {
+		s.respondStream(w, j, device, strategy, queued)
+	} else {
+		s.respondUnary(w, j, device, strategy)
+	}
+}
+
+// respondUnary waits for the job's result and writes one JSON body.
+func (s *Server) respondUnary(w http.ResponseWriter, j *job, device, strategy string) {
+	// The session handle must be drained even when unused, so the worker
+	// never blocks; capacity 1 makes this receive non-blocking in effect.
+	var queueWait time.Duration
+	if sess, ok := <-j.sess; ok && sess != nil {
+		queueWait = time.Since(j.admitted)
+		_ = sess // incumbents are dropped by the session's buffer policy
+	}
+	res := <-j.result
+	s.finishMetrics(j, res)
+	if res.err != nil {
+		writeError(w, statusFor(j, res.err), res.err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.response(j, res.out, device, strategy, queueWait))
+}
+
+// respondStream writes the NDJSON event stream: accepted, one line per
+// incumbent while the solve runs, then outcome (or error).
+func (s *Server) respondStream(w http.ResponseWriter, j *job, device, strategy string, queued int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	enc.Encode(StreamEvent{Type: "accepted", ID: j.id, QueueDepth: queued}) //nolint:errcheck
+	flush()
+
+	var queueWait time.Duration
+	if sess, ok := <-j.sess; ok && sess != nil {
+		queueWait = time.Since(j.admitted)
+		for inc := range sess.Incumbents() {
+			if inc.Final {
+				continue // the outcome event carries the final cost
+			}
+			enc.Encode(StreamEvent{ //nolint:errcheck
+				Type: "incumbent", Merged: inc.Merged, Sub: inc.Sub,
+				Cost: inc.Cost, ElapsedMillis: inc.Elapsed.Milliseconds(),
+			})
+			flush()
+		}
+	}
+	res := <-j.result
+	s.finishMetrics(j, res)
+	if res.err != nil {
+		enc.Encode(StreamEvent{Type: "error", ID: j.id, Error: res.err.Error()}) //nolint:errcheck
+		flush()
+		return
+	}
+	enc.Encode(StreamEvent{Type: "outcome", Outcome: s.response(j, res.out, device, strategy, queueWait)}) //nolint:errcheck
+	flush()
+}
+
+// response assembles the final SolveResponse from an outcome.
+func (s *Server) response(j *job, out *core.Outcome, device, strategy string, queueWait time.Duration) *SolveResponse {
+	return &SolveResponse{
+		ID:               j.id,
+		Strategy:         out.Strategy,
+		Device:           device,
+		Cost:             out.Cost,
+		Selected:         append([]int(nil), out.Solution.Selected...),
+		Partitions:       out.NumPartitions,
+		Sweeps:           out.Sweeps,
+		DiscardedSavings: out.DiscardedSavings,
+		ReappliedSavings: out.ReappliedSavings,
+		Degradations:     len(out.Degradations),
+		QueueMillis:      queueWait.Milliseconds(),
+		SolveMillis:      out.Elapsed.Milliseconds(),
+		TotalMillis:      time.Since(j.admitted).Milliseconds(),
+	}
+}
+
+// finishMetrics records the request's terminal metrics.
+func (s *Server) finishMetrics(j *job, res jobResult) {
+	reg := s.registry()
+	if reg == nil {
+		return
+	}
+	latency := time.Since(j.admitted)
+	reg.Histogram("serve.request.latency_ms").Observe(float64(latency.Milliseconds()))
+	if res.err != nil {
+		reg.Counter("serve.requests.failed").Add(1)
+	} else {
+		reg.Counter("serve.requests.completed").Add(1)
+	}
+}
+
+// statusFor maps a solve error to an HTTP status: deadline/cancellation
+// errors are the gateway-timeout family, everything else is a plain 500.
+func statusFor(j *job, err error) int {
+	if j.ctx.Err() != nil {
+		return http.StatusGatewayTimeout
+	}
+	_ = err
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body) //nolint:errcheck
+}
+
+func writeError(w http.ResponseWriter, status int, err error, retryAfterSeconds int) {
+	writeJSON(w, status, errorBody{Error: err.Error(), RetryAfter: retryAfterSeconds})
+}

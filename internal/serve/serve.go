@@ -1,0 +1,413 @@
+// Package serve is the long-running MQO service: an HTTP/JSON daemon that
+// multiplexes concurrent problem streams over a bounded fleet of solver
+// instances. It turns the repository's one-shot pipeline into the shape a
+// DBMS actually needs — a shared, capacity-limited optimisation resource
+// fielding recurring query batches — with three load-bearing pieces:
+//
+//   - Admission control. Requests enter a bounded queue; when it is full
+//     (or the server is draining for shutdown) they are rejected
+//     immediately with 503 + Retry-After instead of piling up. Every
+//     request carries a deadline, propagated as a context through queueing
+//     and solving, so work whose client has given up is never performed.
+//   - A shared device fleet. A fixed pool of workers — each owning its own
+//     per-device middleware stacks (resilience retry/timeout/breaker
+//     state is per fleet slot) — pulls admitted jobs off the queue. The
+//     fleet size bounds concurrent solves exactly like
+//     solver.ForEachRun's worker cap bounds concurrent runs; each solve's
+//     own Request.Parallelism is divided across the fleet so a loaded
+//     server does not oversubscribe the host.
+//   - Streaming sessions. Each job runs as a core.Session, so clients can
+//     consume the incumbent trajectory (one point per merged partial
+//     problem — the PR 4 convergence data) as NDJSON while the solve is
+//     still running, then receive the final Outcome.
+//
+// Determinism carries over from the pipeline: a problem solved through the
+// server yields a bit-identical Outcome to a standalone Solve with the
+// same options and seed, for any fleet size, queue depth or concurrent
+// load, because per-solve seeds fix results regardless of which worker
+// runs the job or when (TestServeSolveMatchesStandalone).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"incranneal/internal/core"
+	"incranneal/internal/da"
+	"incranneal/internal/hqa"
+	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
+	"incranneal/internal/resilience"
+	"incranneal/internal/sa"
+	"incranneal/internal/solver"
+	"incranneal/internal/va"
+)
+
+// Config parameterises a Server. The zero value is usable: a 2-worker DA
+// fleet behind a 64-deep queue with a 60 s default deadline.
+type Config struct {
+	// QueueDepth bounds the admission queue: requests beyond the fleet's
+	// in-flight capacity wait here, and when it is full new requests are
+	// rejected with 503 + Retry-After. Zero means 64.
+	QueueDepth int
+	// Fleet is the number of solver workers — the maximum concurrently
+	// executing solves. Zero means 2.
+	Fleet int
+	// Device is the fleet's default annealing device: da, da-pt, sa, hqa
+	// or va. Empty means da. Requests may override per solve.
+	Device string
+	// Fallback lists spare devices tried in order when a solve's primary
+	// device fails terminally (the resilience Fallback chain).
+	Fallback []string
+	// Capacity overrides the device variable capacity (0 = device
+	// default); it bounds partial-problem size exactly as in core.Options.
+	Capacity int
+	// DefaultRuns is the per-request default for annealing runs per
+	// (partial) problem. Zero means 16, the paper's setting.
+	DefaultRuns int
+	// DefaultSweeps is the per-request default total sweep budget (0 =
+	// device defaults).
+	DefaultSweeps int
+	// DefaultDeadline applies to requests that carry none. Zero means 60s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps any requested deadline. Zero means 10m.
+	MaxDeadline time.Duration
+	// RetryAfter is the hint returned with 503 rejections. Zero means 1s.
+	RetryAfter time.Duration
+	// Retries, SolveTimeout and Breaker configure the per-device
+	// resilience stack each fleet worker wraps around its devices (see
+	// resilience.Config). All zero means bare devices — the stack is
+	// bit-transparent on the no-fault path either way.
+	Retries      int
+	SolveTimeout time.Duration
+	Breaker      int
+	// Seed drives the resilience middleware's deterministic backoff
+	// jitter (never results).
+	Seed int64
+	// Parallelism is the total worker-goroutine budget per solve,
+	// divided across the fleet so concurrent solves do not oversubscribe
+	// the host: each solve gets Workers(Parallelism)/Fleet (minimum
+	// sequential). Zero means GOMAXPROCS. Results are identical for any
+	// setting.
+	Parallelism int
+	// Sink receives trace events and metrics for every solve the server
+	// runs (queue depth, admission outcomes and request latency are
+	// recorded in its Registry). Nil disables observation.
+	Sink *obs.Sink
+	// NewDevice overrides device construction (tests inject gated or
+	// faulty solvers). Nil uses the built-in devices.
+	NewDevice func(name string, capacity int) (solver.Solver, error)
+}
+
+func (c Config) queueDepth() int { return orDefault(c.QueueDepth, 64) }
+func (c Config) fleet() int      { return orDefault(c.Fleet, 2) }
+func (c Config) device() string {
+	if c.Device == "" {
+		return "da"
+	}
+	return c.Device
+}
+func (c Config) defaultRuns() int { return orDefault(c.DefaultRuns, 16) }
+func (c Config) defaultDeadline() time.Duration {
+	if c.DefaultDeadline > 0 {
+		return c.DefaultDeadline
+	}
+	return time.Minute
+}
+func (c Config) maxDeadline() time.Duration {
+	if c.MaxDeadline > 0 {
+		return c.MaxDeadline
+	}
+	return 10 * time.Minute
+}
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return time.Second
+}
+
+func orDefault(v, d int) int {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+// jobResult is what a fleet worker reports back to the waiting handler.
+type jobResult struct {
+	out *core.Outcome
+	err error
+}
+
+// job is one admitted solve travelling from handler to fleet worker.
+type job struct {
+	id       string
+	problem  *mqo.Problem
+	opt      core.Options // Device left nil; the worker fills it in
+	strategy string
+	device   string
+	// ctx carries the request deadline and the client-disconnect signal.
+	ctx      context.Context
+	admitted time.Time
+	// sess hands the running Session to the handler (capacity 1; closed
+	// without a send when the job dies before starting, e.g. its deadline
+	// expired while queued).
+	sess chan *core.Session
+	// result delivers the final outcome or error (capacity 1).
+	result chan jobResult
+}
+
+// Server multiplexes MQO solves over a bounded solver fleet behind an
+// HTTP/JSON interface. Construct with New, expose with Handler, Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	queue chan *job
+	mux   *http.ServeMux
+
+	mu       sync.RWMutex
+	draining bool
+
+	workers  sync.WaitGroup // fleet workers
+	inflight sync.WaitGroup // admitted jobs not yet answered
+
+	httpSrv *http.Server
+	ids     idGen
+}
+
+// New validates cfg, starts the fleet workers and returns a Server ready
+// to accept requests. The returned server must eventually be Shutdown to
+// stop the fleet.
+func New(cfg Config) (*Server, error) {
+	if _, err := cfg.newRawDevice(cfg.device()); err != nil {
+		return nil, err
+	}
+	for _, fb := range cfg.Fallback {
+		if _, err := cfg.newRawDevice(fb); err != nil {
+			return nil, fmt.Errorf("fallback: %w", err)
+		}
+	}
+	s := &Server{cfg: cfg, queue: make(chan *job, cfg.queueDepth())}
+	s.mux = s.routes()
+	for i := 0; i < cfg.fleet(); i++ {
+		s.workers.Add(1)
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// newRawDevice constructs one bare device by name.
+func (c Config) newRawDevice(name string) (solver.Solver, error) {
+	if c.NewDevice != nil {
+		return c.NewDevice(name, c.Capacity)
+	}
+	switch strings.TrimSpace(name) {
+	case "", "da":
+		return &da.Solver{CapacityVars: c.Capacity}, nil
+	case "da-pt":
+		return &ptDevice{Solver: &da.Solver{CapacityVars: c.Capacity}}, nil
+	case "sa":
+		return &sa.Solver{}, nil
+	case "hqa":
+		return &hqa.Solver{}, nil
+	case "va":
+		return &va.Solver{}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown device %q (want da, da-pt, sa, hqa or va)", name)
+	}
+}
+
+// ptDevice routes Solve through the DA's parallel-tempering mode.
+type ptDevice struct{ *da.Solver }
+
+func (s *ptDevice) Solve(ctx context.Context, req solver.Request) (*solver.Result, error) {
+	return s.SolvePT(ctx, req)
+}
+
+// newStack builds the full per-device middleware stack for one fleet
+// slot: (primary, fallbacks...) under the configured resilience layers.
+// Breaker and retry state live inside the returned stack, so each worker
+// owning its own stacks keeps device health tracking per fleet slot.
+func (s *Server) newStack(primary string, slot int) (solver.Solver, error) {
+	devs := make([]solver.Solver, 0, 1+len(s.cfg.Fallback))
+	prim, err := s.cfg.newRawDevice(primary)
+	if err != nil {
+		return nil, err
+	}
+	devs = append(devs, prim)
+	for _, fb := range s.cfg.Fallback {
+		dev, err := s.cfg.newRawDevice(fb)
+		if err != nil {
+			return nil, err
+		}
+		devs = append(devs, dev)
+	}
+	return resilience.Wrap(devs, resilience.Config{
+		Retries:          s.cfg.Retries,
+		SolveTimeout:     s.cfg.SolveTimeout,
+		BreakerThreshold: s.cfg.Breaker,
+		Seed:             s.cfg.Seed + int64(slot)*7919,
+	}), nil
+}
+
+// perSolveParallelism divides the server's worker budget across the
+// fleet, so Fleet concurrent solves together use about Parallelism
+// goroutines. Minimum is sequential (-1 in the solver.Workers encoding);
+// results never depend on the split.
+func (s *Server) perSolveParallelism() int {
+	share := solver.Workers(s.cfg.Parallelism) / s.cfg.fleet()
+	if share < 1 {
+		return -1
+	}
+	return share
+}
+
+// worker is one fleet slot: it pulls admitted jobs off the queue and runs
+// each as a core.Session on its own device stacks until the queue closes.
+func (s *Server) worker(slot int) {
+	defer s.workers.Done()
+	stacks := map[string]solver.Solver{}
+	reg := s.registry()
+	for j := range s.queue {
+		reg.Gauge("serve.queue.depth").Set(float64(len(s.queue)))
+		if err := j.ctx.Err(); err != nil {
+			// The client's deadline expired (or it disconnected) while the
+			// job sat in the queue: answer without solving.
+			reg.Counter("serve.admission.expired_in_queue").Add(1)
+			close(j.sess)
+			j.result <- jobResult{err: fmt.Errorf("serve: request expired in queue after %v: %w", time.Since(j.admitted).Round(time.Millisecond), err)}
+			continue
+		}
+		stack, ok := stacks[j.device]
+		if !ok {
+			var err error
+			stack, err = s.newStack(j.device, slot)
+			if err != nil {
+				close(j.sess)
+				j.result <- jobResult{err: err}
+				continue
+			}
+			stacks[j.device] = stack
+		}
+		opt := j.opt
+		opt.Device = stack
+		sess := core.NewSession(j.problem, opt)
+		sess.Strategy = j.strategy
+		ctx := j.ctx
+		if s.cfg.Sink.Enabled() {
+			ctx = obs.NewContext(ctx, s.cfg.Sink)
+		}
+		if err := sess.Start(ctx); err != nil {
+			close(j.sess)
+			j.result <- jobResult{err: err}
+			continue
+		}
+		j.sess <- sess
+		out, err := sess.Wait()
+		j.result <- jobResult{out: out, err: err}
+	}
+}
+
+// admit enqueues j unless the server is draining or the queue is full.
+// The reason string feeds the admission-outcome metrics and the 503 body.
+// On success the job is registered in the inflight WaitGroup while the
+// lock is still held, so Shutdown (which takes the write lock before
+// waiting) can never miss an admitted job; the handler must balance with
+// inflight.Done once the response is written.
+func (s *Server) admit(j *job) (ok bool, reason string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return false, "draining"
+	}
+	select {
+	case s.queue <- j:
+		s.inflight.Add(1)
+		return true, ""
+	default:
+		return false, "queue full"
+	}
+}
+
+func (s *Server) registry() *obs.Registry { return s.cfg.Sink.Metrics() }
+
+// queueDepth reports the current number of queued (not yet running) jobs.
+func (s *Server) queueDepth() int { return len(s.queue) }
+
+// Handler returns the server's HTTP handler, for mounting on an existing
+// listener or an httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.httpSrv = &http.Server{Handler: s.mux}
+	srv := s.httpSrv
+	s.mu.Unlock()
+	return srv.Serve(l)
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server gracefully: new requests are rejected with
+// 503 immediately, already-admitted jobs run to completion and their
+// responses are delivered, then the fleet exits. ctx bounds the wait for
+// in-flight work; on expiry the remaining solves are cancelled through
+// their request contexts by the closing HTTP server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	httpSrv := s.httpSrv
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	// No admit can be in flight past this point (admit holds the read
+	// lock while enqueuing), so closing the queue is safe; workers drain
+	// the remaining jobs and exit.
+	close(s.queue)
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		s.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if httpSrv != nil {
+		return httpSrv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// idGen issues short request ids (r000001, r000002, ...).
+type idGen struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (g *idGen) next() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	return fmt.Sprintf("r%06d", g.n)
+}

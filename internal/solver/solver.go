@@ -4,6 +4,13 @@
 // abstraction carries each device's variable capacity, so the partitioning
 // phase can target any existing or future annealer (contribution 4 of the
 // paper).
+//
+// Everything above this package builds on two properties of its contract:
+// solves are pure functions of (Model, Runs, Sweeps, Seed) — per-run RNG
+// streams derive from the seed before any work is dispatched, so results
+// are identical at every Parallelism — and implementations are safe for
+// use from one goroutine at a time per instance, which lets the serving
+// fleet (internal/serve) give each worker slot its own device instances.
 package solver
 
 import (
