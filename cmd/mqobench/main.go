@@ -30,6 +30,11 @@
 // -fig dag runs the execution-order ablation (sequential vs. DAG-parallel
 // vs. DSS off on sparse-dependency workloads).
 //
+// Caching: -fig warm measures the cross-solve cache on recurring workloads —
+// cold vs. structure-hit vs. warm-start latency and sweeps-to-parity
+// (BENCH_warm.json records a reference run); the phases report carries a
+// cached-second-run row attributing the saved time to the partition phase.
+//
 // Serving: -fig serve load-tests the mqoserve HTTP stack in-process — N
 // concurrent clients per scale level against a 2-worker fleet over loopback
 // HTTP — and reports throughput with p50/p95/p99 latency per level
@@ -53,7 +58,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, convergence, dag, serve, ablation or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, convergence, dag, warm, serve, ablation or all")
 		scale     = flag.String("scale", "reduced", "experiment scale: smoke, reduced or paper")
 		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
 		outDir    = flag.String("out", "", "write per-figure files to this directory instead of stdout")
@@ -126,6 +131,7 @@ func main() {
 		{"phases", func() (*bench.Report, error) { return bench.PhaseReport(ctx, cfg, sc) }},
 		{"convergence", func() (*bench.Report, error) { return bench.Convergence(ctx, cfg, sc) }},
 		{"dag", func() (*bench.Report, error) { return bench.AblationDAG(ctx, cfg, sc) }},
+		{"warm", func() (*bench.Report, error) { return bench.WarmStarts(ctx, cfg, sc) }},
 		{"serve", func() (*bench.Report, error) { return bench.ServeLoad(ctx, cfg, sc) }},
 		{"ablation", func() (*bench.Report, error) { return nil, nil }}, // expanded below
 	}

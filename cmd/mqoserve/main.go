@@ -23,6 +23,15 @@
 // fleet worker's devices in the same middleware stack mqosolve uses;
 // breaker and retry state is kept per fleet slot.
 //
+// Caching: -cache-entries enables the fleet-wide cross-solve cache for
+// recurring workloads — structurally identical problems skip recursive
+// partitioning and rebind cached encoding skeletons; -warm-drift
+// additionally seeds annealing from the cached incumbent when plan costs
+// drifted within the bound. Hit/miss/eviction counters appear under
+// cache.* in /statsz. Off by default: with caching on, repeated solves of
+// the same structure are no longer bit-identical to a cold standalone run
+// whenever warm starts engage.
+//
 // Determinism: a problem solved through mqoserve yields a bit-identical
 // outcome to a standalone mqosolve run with the same seed and options,
 // regardless of fleet size, queue depth or concurrent load.
@@ -69,6 +78,9 @@ func main() {
 		breaker      = flag.Int("breaker", 0, "consecutive solve failures tripping the per-device circuit breaker (0 = no breaker)")
 		fallback     = flag.String("fallback", "", "comma-separated fallback devices tried after the primary (da, da-pt, sa, hqa, va)")
 		seed         = flag.Int64("seed", 1, "seed for the resilience middleware's deterministic backoff jitter")
+
+		cacheEntries = flag.Int("cache-entries", 0, "cross-solve cache bound: distinct problem structures kept for partitioning/skeleton reuse, shared by the fleet (0 = caching off, -1 = default bound)")
+		warmDrift    = flag.Float64("warm-drift", 0, "seed annealing from the cached incumbent when relative weight drift is within (0, bound]; requires -cache-entries (0 = warm starts off)")
 
 		trace     = flag.String("trace", "", "write a JSONL pipeline trace of every solve to this file")
 		pprofAddr = flag.String("pprof", "", "serve pprof/expvar on this address (e.g. :6060)")
@@ -128,6 +140,8 @@ func main() {
 		Breaker:         *breaker,
 		Seed:            *seed,
 		Parallelism:     *parallel,
+		CacheEntries:    *cacheEntries,
+		WarmStartDrift:  *warmDrift,
 		Sink:            sink,
 	})
 	if err != nil {

@@ -26,6 +26,12 @@
 // forces the strictly sequential chain and -dag-density tunes the edge
 // density above which the scheduler falls back to it. Results are identical
 // either way.
+//
+// Recurring workloads: -repeat N solves the instance N times; -cache turns
+// on the cross-solve cache so later epochs reuse the first epoch's
+// partitioning and encoding skeletons (a "cache:" line reports the reuse
+// level), and -warm-drift additionally seeds annealing from the cached
+// incumbent when plan costs drifted within the bound.
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 	"incranneal/internal/mqo"
 	"incranneal/internal/obs"
 	"incranneal/internal/sa"
+	"incranneal/internal/solvecache"
 	"incranneal/internal/solver"
 	"incranneal/internal/va"
 )
@@ -72,6 +79,10 @@ func main() {
 
 		dagParallel = flag.Bool("dag-parallel", true, "schedule independent partial problems concurrently over the DSS dependency DAG (false = strictly sequential incremental chain)")
 		dagDensity  = flag.Float64("dag-density", 0, "DSS dependency-graph edge density above which the DAG scheduler falls back to the sequential chain (0 = default 0.5, >=1 = never)")
+
+		useCache  = flag.Bool("cache", false, "enable the cross-solve cache: later -repeat epochs reuse the partitioning and encoding skeletons of earlier ones")
+		repeat    = flag.Int("repeat", 1, "solve the instance this many times (recurring-workload emulation; combine with -cache)")
+		warmDrift = flag.Float64("warm-drift", 0, "seed annealing from the cached incumbent when relative weight drift is within (0, bound]; implies -cache (0 = warm starts off)")
 	)
 	flag.Parse()
 
@@ -106,18 +117,33 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var cache *solvecache.Cache
+	if *useCache || *warmDrift > 0 {
+		cache = solvecache.New(0)
+	}
 	ps := bench.PipelineSpec{DisableDAG: !*dagParallel, DAGDensity: *dagDensity}
 	start := time.Now()
-	sol, cost, stats, err := run(ctx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout, mw, *failFast, ps)
-	if err != nil {
-		// SIGINT cancels ctx mid-solve; flush whatever the trace recorded
-		// before reporting the interrupt.
-		flush()
-		if ctx.Err() != nil && *timeout == 0 {
-			fmt.Fprintln(os.Stderr, "mqosolve: interrupted — partial trace and metrics flushed")
-			os.Exit(130)
+	var (
+		sol   *mqo.Solution
+		cost  float64
+		stats string
+	)
+	for epoch := 0; epoch < max(1, *repeat); epoch++ {
+		epochStart := time.Now()
+		sol, cost, stats, err = run(ctx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout, mw, *failFast, ps, cache, *warmDrift)
+		if err != nil {
+			// SIGINT cancels ctx mid-solve; flush whatever the trace recorded
+			// before reporting the interrupt.
+			flush()
+			if ctx.Err() != nil && *timeout == 0 {
+				fmt.Fprintln(os.Stderr, "mqosolve: interrupted — partial trace and metrics flushed")
+				os.Exit(130)
+			}
+			fail(err)
 		}
-		fail(err)
+		if *repeat > 1 {
+			fmt.Printf("epoch %d:    cost %.4f in %v\n", epoch, cost, time.Since(epochStart).Round(time.Millisecond))
+		}
 	}
 	fmt.Printf("instance:   %s (%d queries, %d plans, %d savings)\n", p.Name, p.NumQueries(), p.NumPlans(), p.NumSavings())
 	fmt.Printf("algorithm:  %s\n", *algorithm)
@@ -136,8 +162,8 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, sweeps int, seed int64, timeout time.Duration, mw func(solver.Solver) solver.Solver, failFast bool, ps bench.PipelineSpec) (*mqo.Solution, float64, string, error) {
-	copt := core.Options{Capacity: capacity, Runs: runs, TotalSweeps: sweeps, Seed: seed, FailFast: failFast}
+func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, sweeps int, seed int64, timeout time.Duration, mw func(solver.Solver) solver.Solver, failFast bool, ps bench.PipelineSpec, cache *solvecache.Cache, warmDrift float64) (*mqo.Solution, float64, string, error) {
+	copt := core.Options{Capacity: capacity, Runs: runs, TotalSweeps: sweeps, Seed: seed, FailFast: failFast, Cache: cache, WarmStartDrift: warmDrift}
 	ps.Apply(&copt)
 	bopt := baseline.Options{Seed: seed, TimeBudget: timeout}
 	annealOutcome := func(out *core.Outcome, err error) (*mqo.Solution, float64, string, error) {
@@ -152,6 +178,18 @@ func run(ctx context.Context, algorithm string, p *mqo.Problem, capacity, runs, 
 				mode = "sequential fallback (graph too dense)"
 			}
 			stats += fmt.Sprintf("dss dag:    %d edges, density %.2f — %s\n", out.DAG.Edges, out.DAG.Density, mode)
+		}
+		if out.Cache != nil {
+			state := "miss"
+			if out.Cache.StructureHit {
+				state = "hit (partitioning reused)"
+			}
+			warm := ""
+			if out.Cache.WarmStart {
+				warm = fmt.Sprintf(", warm start (drift %.3f)", out.Cache.Drift)
+			}
+			stats += fmt.Sprintf("cache:      structure %s, skeletons %d/%d rebound%s\n",
+				state, out.Cache.SkeletonHits, out.Cache.SkeletonHits+out.Cache.SkeletonMisses, warm)
 		}
 		if len(out.Degradations) > 0 {
 			stats += fmt.Sprintf("degraded:   %d partial problem(s) completed by greedy repair\n", len(out.Degradations))

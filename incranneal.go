@@ -39,6 +39,7 @@ import (
 	"incranneal/internal/hqa"
 	"incranneal/internal/mqo"
 	"incranneal/internal/sa"
+	"incranneal/internal/solvecache"
 	"incranneal/internal/solver"
 	"incranneal/internal/va"
 	"incranneal/internal/workload"
@@ -139,6 +140,20 @@ type Options struct {
 	// Outcome.Degradations and the solve always returns a complete,
 	// valid solution.
 	FailFast bool
+	// Cache enables cross-solve reuse for recurring workloads: solves of
+	// structurally identical problems (same shape, possibly different
+	// costs) skip recursive partitioning and rebind cached encoding
+	// skeletons instead of preparing fresh ones. Share one Cache across
+	// the sessions that should reuse each other's work; nil disables
+	// caching. Cold solves (cache miss or nil Cache) are bit-identical to
+	// an uncached solve.
+	Cache *Cache
+	// WarmStartDrift additionally seeds annealing runs from the cached
+	// incumbent when the relative weight drift against the cached solve is
+	// within (0, WarmStartDrift]. Zero (default) disables warm starts.
+	// Drift-0 hits stay cold-seeded so identical re-solves remain
+	// bit-identical.
+	WarmStartDrift float64
 }
 
 func (o Options) device() solver.Solver {
@@ -172,6 +187,8 @@ func (o Options) coreOptions() core.Options {
 		DisableDSS:        o.DisableDSS,
 		PostProcessParses: o.PostProcessParses,
 		FailFast:          o.FailFast,
+		Cache:             o.Cache,
+		WarmStartDrift:    o.WarmStartDrift,
 	}
 }
 
@@ -230,6 +247,45 @@ func (s *Session) Wait() (*Outcome, error) { return s.inner.Wait() }
 
 // Run is Start followed by Wait.
 func (s *Session) Run(ctx context.Context) (*Outcome, error) { return s.inner.Run(ctx) }
+
+// Problem returns the problem this session solves.
+func (s *Session) Problem() *Problem { return s.inner.Problem() }
+
+// ApplyDelta derives a fresh, unstarted Session solving this session's
+// problem with d applied. With Options.Cache set, the cached partitioning,
+// incumbent and encoding skeletons migrate to the delta'd problem, so the
+// derived session re-partitions only the touched region. The receiver is
+// unaffected and may be running or finished.
+func (s *Session) ApplyDelta(d Delta) (*Session, error) {
+	inner, err := s.inner.ApplyDelta(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: inner}, nil
+}
+
+// Cache is a cross-solve cache for recurring workloads; see Options.Cache.
+// Safe for concurrent use by any number of sessions.
+type Cache = solvecache.Cache
+
+// CacheStats is a point-in-time snapshot of a Cache's counters.
+type CacheStats = solvecache.Stats
+
+// CacheOutcome describes one solve's cache interaction (Outcome.Cache).
+type CacheOutcome = core.CacheOutcome
+
+// NewCache returns a cross-solve cache bounded to maxEntries distinct
+// problem structures (LRU eviction); maxEntries <= 0 selects the default
+// bound.
+func NewCache(maxEntries int) *Cache { return solvecache.New(maxEntries) }
+
+// Delta is an incremental edit to an MQO problem, applied through
+// Session.ApplyDelta: plan-cost and saving-value adjustments, query
+// removals and query additions.
+type Delta = mqo.Delta
+
+// AddedQuery describes one query a Delta introduces.
+type AddedQuery = mqo.AddedQuery
 
 // Greedy returns the naive per-query cheapest-plan selection and its total
 // cost — the baseline MQO improves on (Example 3.1).

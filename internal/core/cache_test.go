@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"incranneal/internal/da"
+	"incranneal/internal/mqo"
+	"incranneal/internal/solvecache"
+	"incranneal/internal/workload"
+)
+
+func cacheTestProblem(t *testing.T) *mqo.Problem {
+	t.Helper()
+	in, err := workload.GenerateSweep(workload.SweepConfig{
+		Queries: 32, PPQ: 3, Communities: 4,
+		DensityLow: 0.05, DensityHigh: 0.8, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Problem
+}
+
+func cacheTestOptions(cache *solvecache.Cache, warmDrift float64) Options {
+	return Options{
+		Device:         &da.Solver{CapacityVars: 40},
+		Capacity:       40,
+		Runs:           4,
+		TotalSweeps:    600,
+		Seed:           17,
+		Parallelism:    -1,
+		Cache:          cache,
+		WarmStartDrift: warmDrift,
+	}
+}
+
+// driftProblem jitters every weight of p by up to ±rel, preserving the
+// structure (zero savings stay zero).
+func driftProblem(t *testing.T, p *mqo.Problem, rel float64, seed int64) *mqo.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func(v float64) float64 { return v * (1 + rel*(2*rng.Float64()-1)) }
+	costs := make([][]float64, p.NumQueries())
+	for q := range costs {
+		row := make([]float64, len(p.Plans(q)))
+		for i, pl := range p.Plans(q) {
+			row[i] = jitter(p.Cost(pl))
+		}
+		costs[q] = row
+	}
+	savings := append([]mqo.Saving(nil), p.Savings()...)
+	for i := range savings {
+		if savings[i].Value != 0 {
+			savings[i].Value = jitter(savings[i].Value)
+		}
+	}
+	np, err := mqo.NewProblem(costs, savings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+func assertValidSolution(t *testing.T, p *mqo.Problem, out *Outcome) {
+	t.Helper()
+	if len(out.Solution.Selected) != p.NumQueries() {
+		t.Fatalf("solution covers %d of %d queries", len(out.Solution.Selected), p.NumQueries())
+	}
+	for q, pl := range out.Solution.Selected {
+		if pl == mqo.Unassigned || p.QueryOf(pl) != q {
+			t.Fatalf("query %d selects invalid plan %d", q, pl)
+		}
+	}
+}
+
+// TestCacheHitBitIdentical pins the structure-hit contract: re-solving the
+// exact same problem against a primed cache — even with warm starts enabled
+// — skips partitioning and rebinds skeletons but produces a bit-identical
+// outcome, because drift 0 deliberately keeps annealing cold-seeded.
+func TestCacheHitBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	p := cacheTestProblem(t)
+
+	cold, err := SolveIncremental(ctx, p, cacheTestOptions(nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.NumPartitions < 2 {
+		t.Fatalf("instance not partitioned (%d partitions); the test needs the incremental path", cold.NumPartitions)
+	}
+
+	cache := solvecache.New(0)
+	prime, err := SolveIncremental(ctx, p, cacheTestOptions(cache, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prime.Cache == nil || prime.Cache.StructureHit {
+		t.Fatalf("priming solve misreported its cache outcome: %+v", prime.Cache)
+	}
+	if prime.Cost != cold.Cost {
+		t.Fatalf("cache-enabled miss diverged from cold: %v vs %v", prime.Cost, cold.Cost)
+	}
+
+	hit, err := SolveIncremental(ctx, p, cacheTestOptions(cache, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Cache == nil || !hit.Cache.StructureHit {
+		t.Fatalf("second identical solve missed: %+v", hit.Cache)
+	}
+	if hit.Cache.WarmStart || hit.Cache.Drift != 0 {
+		t.Fatalf("zero-drift hit engaged warm starts: %+v", hit.Cache)
+	}
+	if hit.Cache.SkeletonHits == 0 {
+		t.Fatalf("no skeletons rebound on a structure hit: %+v", hit.Cache)
+	}
+	if hit.Cost != cold.Cost {
+		t.Fatalf("structure-hit cost %v differs from cold %v", hit.Cost, cold.Cost)
+	}
+	for q, pl := range hit.Solution.Selected {
+		if pl != cold.Solution.Selected[q] {
+			t.Fatalf("query %d: hit selects plan %d, cold %d", q, pl, cold.Solution.Selected[q])
+		}
+	}
+	if s := cache.Stats(); s.StructureHits != 1 || s.StructureMisses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+// TestWarmStartOnDrift drives the warm tier: a drifted recurrence within the
+// bound seeds annealing from the cached incumbent and still produces a valid
+// complete solution; drift beyond the bound keeps the solve cold-seeded.
+func TestWarmStartOnDrift(t *testing.T) {
+	ctx := context.Background()
+	p := cacheTestProblem(t)
+	cache := solvecache.New(0)
+	if _, err := SolveIncremental(ctx, p, cacheTestOptions(cache, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	dp := driftProblem(t, p, 0.05, 99)
+
+	warm, err := SolveIncremental(ctx, dp, cacheTestOptions(cache, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache == nil || !warm.Cache.StructureHit {
+		t.Fatalf("drifted recurrence missed the structure tier: %+v", warm.Cache)
+	}
+	if !warm.Cache.WarmStart {
+		t.Fatalf("drift %v within bound did not warm-start", warm.Cache.Drift)
+	}
+	if warm.Cache.Drift <= 0 || warm.Cache.Drift > 0.2 {
+		t.Fatalf("reported drift %v outside (0, 0.2]", warm.Cache.Drift)
+	}
+	assertValidSolution(t, dp, warm)
+	if s := cache.Stats(); s.WarmStarts != 1 {
+		t.Fatalf("warm starts = %d, want 1", s.WarmStarts)
+	}
+
+	// Re-prime with the base problem, then bound the drift below the actual
+	// drift: the hit must stay cold-seeded.
+	cache2 := solvecache.New(0)
+	if _, err := SolveIncremental(ctx, p, cacheTestOptions(cache2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := SolveIncremental(ctx, dp, cacheTestOptions(cache2, 1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Cache == nil || !bounded.Cache.StructureHit {
+		t.Fatalf("bounded solve missed the structure tier: %+v", bounded.Cache)
+	}
+	if bounded.Cache.WarmStart {
+		t.Fatalf("drift %v beyond the bound still warm-started", bounded.Cache.Drift)
+	}
+}
+
+// TestSessionApplyDelta covers the delta API end-to-end: a session's cached
+// state migrates to the delta'd problem, the derived session solves it, and
+// the migrated entry produces a structure hit (only the touched region would
+// re-partition).
+func TestSessionApplyDelta(t *testing.T) {
+	ctx := context.Background()
+	p := cacheTestProblem(t)
+	cache := solvecache.New(0)
+	opt := cacheTestOptions(cache, 0.5)
+
+	s1 := NewSession(p, opt)
+	out1, err := s1.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidSolution(t, p, out1)
+
+	// Bump one plan cost and attach a new query to plan 0's saving mass.
+	d := mqo.Delta{
+		SetCosts: map[int]float64{0: p.Cost(0) * 1.1},
+		AddQueries: []mqo.AddedQuery{{
+			PlanCosts: []float64{5, 7, 9},
+			Savings:   []mqo.Saving{{P1: 0, P2: 0, Value: 2}},
+		}},
+	}
+	s2, err := s1.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := s2.Problem()
+	if np.NumQueries() != p.NumQueries()+1 {
+		t.Fatalf("delta'd problem has %d queries, want %d", np.NumQueries(), p.NumQueries()+1)
+	}
+	if st := cache.Stats(); st.DeltaMigrations != 1 {
+		t.Fatalf("delta migrations = %d, want 1", st.DeltaMigrations)
+	}
+	// The receiver is unaffected and can still derive further sessions.
+	if s1.Problem() != p {
+		t.Fatal("ApplyDelta mutated the receiver's problem")
+	}
+
+	out2, err := s2.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidSolution(t, np, out2)
+	if out2.Cache == nil || !out2.Cache.StructureHit {
+		t.Fatalf("migrated entry did not hit: %+v", out2.Cache)
+	}
+
+	// Later epochs over the same delta'd structure are plain zero-drift
+	// recurrences: they hit the migrated entry and stay cold-seeded, so two
+	// of them must be bit-identical to each other. (They legitimately differ
+	// from an uncached solve of the delta'd problem: the migrated
+	// partitioning re-bisects only the touched region, a fresh Partition
+	// starts from scratch.)
+	s3 := NewSession(np, opt)
+	out3, err := s3.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3.Cache == nil || !out3.Cache.StructureHit {
+		t.Fatalf("recurrence after delta missed: %+v", out3.Cache)
+	}
+	if out3.Cache.WarmStart {
+		t.Fatalf("zero-drift recurrence warm-started: %+v", out3.Cache)
+	}
+	out4, err := NewSession(np, opt).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out4.Cost != out3.Cost {
+		t.Fatalf("zero-drift recurrences diverged: %v vs %v", out4.Cost, out3.Cost)
+	}
+	for q, pl := range out4.Solution.Selected {
+		if pl != out3.Solution.Selected[q] {
+			t.Fatalf("query %d: recurrences select plans %d vs %d", q, pl, out3.Solution.Selected[q])
+		}
+	}
+}
+
+// TestApplyDeltaErrors: an invalid delta surfaces the mqo error and derives
+// no session.
+func TestApplyDeltaErrors(t *testing.T) {
+	p := mqo.PaperExample()
+	s := NewSession(p, Options{Device: &da.Solver{CapacityVars: 64}, Runs: 2, TotalSweeps: 100, Seed: 1})
+	if _, err := s.ApplyDelta(mqo.Delta{RemoveQueries: []int{99}}); err == nil {
+		t.Fatal("out-of-range removal accepted")
+	}
+	if _, err := s.ApplyDelta(mqo.Delta{RemoveQueries: []int{0, 1, 2, 3}}); err == nil {
+		t.Fatal("remove-everything delta accepted")
+	}
+}

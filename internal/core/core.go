@@ -24,6 +24,7 @@ import (
 	"incranneal/internal/mqo"
 	"incranneal/internal/obs"
 	"incranneal/internal/partition"
+	"incranneal/internal/solvecache"
 	"incranneal/internal/solver"
 )
 
@@ -83,6 +84,26 @@ type Options struct {
 	// affected partial problem by greedy repair. Also forwarded to the
 	// partitioning phase (see partition.Options.FailFast).
 	FailFast bool
+	// Cache is the cross-solve cache (internal/solvecache): fingerprinted
+	// partitionings, pooled encoding skeletons and warm-start incumbents,
+	// shared by every solve handed the same handle. Nil disables
+	// cross-solve reuse. Cache misses are bit-identical to running without
+	// a cache, and a structure hit on bit-identical weights reproduces the
+	// original cold solve exactly; a hit on *drifted* weights reuses the
+	// shape-derived partitioning instead of re-bisecting under the new
+	// weights — the cache's core trade, gated by the warm-start ablation
+	// figure (mqobench -fig warm). Only the incremental strategy consults
+	// the cache.
+	Cache *solvecache.Cache
+	// WarmStartDrift enables warm starts on structure-cache hits: when the
+	// relative weight drift against the cached solve (solvecache.
+	// WeightDrift) is positive and at most this bound, part of every
+	// partial problem's annealing runs (solver.Request.WarmRuns) start
+	// from the cached incumbent's plan selections instead of random
+	// states. Zero disables warm starts. Exact recurrences (drift 0)
+	// always run cold-seeded, so re-solving an identical problem stays
+	// bit-identical to the first solve.
+	WarmStartDrift float64
 }
 
 // Outcome reports a completed MQO solve.
@@ -117,6 +138,10 @@ type Outcome struct {
 	// built over the partial problems, nil for the other strategies, for
 	// unpartitioned solves, and under Options.DisableDAG.
 	DAG *DAGStats
+	// Cache reports the cross-solve cache's part in this solve; nil when
+	// no cache was configured or the solve never reached the partitioned
+	// incremental phase.
+	Cache *CacheOutcome
 }
 
 // PhaseTimings attributes wall-clock time to the pipeline phases. For
@@ -160,13 +185,15 @@ func (o Options) needsPartitioning(p *mqo.Problem) bool {
 	return c > 0 && p.NumPlans() > c
 }
 
-// partitionProblem runs the partitioning phase with o's settings.
-func (o Options) partitionProblem(ctx context.Context, p *mqo.Problem) (*partition.Result, error) {
+// partitionOptions assembles the partitioning phase's options; Partition
+// and the cache-hit Refit path must run under the same settings so a refit
+// re-bisection behaves exactly like a fresh one.
+func (o Options) partitionOptions() partition.Options {
 	ps := o.PartitionSolver
 	if ps == nil {
 		ps = o.Device
 	}
-	return partition.Partition(ctx, p, partition.Options{
+	return partition.Options{
 		Capacity:          o.capacity(),
 		Solver:            ps,
 		Runs:              o.Runs,
@@ -176,7 +203,12 @@ func (o Options) partitionProblem(ctx context.Context, p *mqo.Problem) (*partiti
 		MinPartFraction:   o.MinPartFraction,
 		Parallelism:       o.Parallelism,
 		FailFast:          o.FailFast,
-	})
+	}
+}
+
+// partitionProblem runs the partitioning phase with o's settings.
+func (o Options) partitionProblem(ctx context.Context, p *mqo.Problem) (*partition.Result, error) {
+	return partition.Partition(ctx, p, o.partitionOptions())
 }
 
 // partitionSweeps returns the sweep budget of the i-th of n partial
@@ -219,14 +251,14 @@ type subTimings struct {
 // towards already selected plans into the local costs, the best (adjusted)
 // local cost is exactly the marginal cost w.r.t. the current total solution,
 // implementing BestIntSol of Algorithm 2.
-func solveEncoded(ctx context.Context, dev solver.Solver, enc *encoding.MQOEncoding, runs, sweeps int, seed int64, parallelism int) (*mqo.Solution, int, subTimings, error) {
+func solveEncoded(ctx context.Context, dev solver.Solver, enc *encoding.MQOEncoding, runs, sweeps int, seed int64, warm []int8, parallelism int) (*mqo.Solution, int, subTimings, error) {
 	var st subTimings
 	if err := solver.CheckCapacity(dev, enc.Model); err != nil {
 		return nil, 0, st, err
 	}
 	sink := obs.FromContext(ctx)
 	t0 := time.Now()
-	res, err := dev.Solve(ctx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed, Parallelism: parallelism})
+	res, err := dev.Solve(ctx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed, Parallelism: parallelism, Warm: warm})
 	st.anneal = time.Since(t0)
 	if err != nil {
 		return nil, 0, st, err

@@ -182,7 +182,7 @@ type dagJoin struct {
 // late join that dirties one is patched by a PreparedMQO reweight pass.
 // It mutates ttlSol, pending and tm, and returns the performed sweeps, the
 // re-applied savings magnitude and the degradations in sub index order.
-func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, dag *dssDAG, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options) (int, float64, []Degradation, error) {
+func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, warms [][]int8, dag *dssDAG, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options) (int, float64, []Degradation, error) {
 	sink := obs.FromContext(ctx)
 	n := len(subs)
 	workers := parallelism(opt)
@@ -233,7 +233,7 @@ func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem,
 					encNanos[node] += int64(time.Since(t0))
 					dirty[node] = false
 				}
-				best, performed, st, err := solveEncoded(subCtx, opt.Device, encs[node], opt.Runs, opt.partitionSweeps(n, node), opt.Seed+int64(1000+node), split[wi])
+				best, performed, st, err := solveEncoded(subCtx, opt.Device, encs[node], opt.Runs, opt.partitionSweeps(n, node), opt.Seed+int64(1000+node), warms[node], split[wi])
 				if err != nil {
 					if opt.FailFast || isPipelineError(err) {
 						return err

@@ -10,6 +10,7 @@ import (
 	"incranneal/internal/encoding"
 	"incranneal/internal/mqo"
 	"incranneal/internal/obs"
+	"incranneal/internal/partition"
 	"incranneal/internal/solver"
 )
 
@@ -38,13 +39,36 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 	if !opt.needsPartitioning(p) {
 		return solveWhole(ctx, p, opt, "incremental", start)
 	}
+	cr := newCacheRun(p, opt)
 	partStart := time.Now()
-	part, err := opt.partitionProblem(ctx, p)
-	if err != nil {
-		return nil, err
+	var part *partition.Result
+	var err error
+	if cr != nil && cr.hit != nil {
+		// Structure hit: refit the cached partitioning instead of
+		// re-bisecting. Refit validates coverage and only re-bisects sets
+		// the capacity no longer admits, so a plain recurrence skips the
+		// annealer-backed recursion entirely.
+		part, err = partition.Refit(ctx, p, cr.hit.QuerySets, opt.partitionOptions())
+		if err != nil {
+			// A cached partitioning that fails to refit (fingerprint
+			// collision, corrupt entry) never fails the solve: drop it and
+			// partition from scratch.
+			opt.Cache.Invalidate(p)
+			cr.demote()
+			part = nil
+		}
+	}
+	if part == nil {
+		part, err = opt.partitionProblem(ctx, p)
+		if err != nil {
+			return nil, err
+		}
 	}
 	partElapsed := time.Since(partStart)
-	out, err := IncrementalOverSubProblems(ctx, p, part.SubProblems, opt)
+	if cr != nil {
+		cr.querySets = part.QuerySets
+	}
+	out, err := incrementalOverSubProblems(ctx, p, part.SubProblems, opt, cr)
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +94,13 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 // every sub-problem from scratch after each DSS pass, and identical between
 // the DAG schedule and the sequential chain.
 func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, opt Options) (*Outcome, error) {
+	return incrementalOverSubProblems(ctx, p, subs, opt, nil)
+}
+
+// incrementalOverSubProblems is IncrementalOverSubProblems with the solve's
+// cache interaction threaded through (nil when no cache is configured or
+// the caller owns partitioning).
+func incrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, opt Options, cr *cacheRun) (*Outcome, error) {
 	start := time.Now()
 	ttlSol := mqo.NewSolution(p)
 	var tm PhaseTimings
@@ -84,12 +115,26 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	preps := make([]*encoding.PreparedMQO, len(subs))
 	prepErrs := make([]error, len(subs))
 	solver.ForEachRun(len(subs), parallelism(opt), func(i int) {
+		// On a structure hit, rebinding a pooled skeleton replaces the
+		// whole PrepareMQO build with an O(terms) reweight of the cached
+		// term structure.
+		if pp := cr.takeSkeleton(subs[i].Local); pp != nil {
+			preps[i] = pp
+			return
+		}
 		preps[i], prepErrs[i] = encoding.PrepareMQO(subs[i].Local)
 	})
 	for _, err := range prepErrs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Warm assignments project the cached incumbent into each sub-problem's
+	// local numbering; nil entries (no cache, miss, drift out of bounds)
+	// keep the device's historical fully-random seeding.
+	warms := make([][]int8, len(subs))
+	for i, sub := range subs {
+		warms[i] = cr.warmFor(sub)
 	}
 	tm.Encode += time.Since(encStart)
 	sink := obs.FromContext(ctx)
@@ -130,9 +175,9 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	var degs []Degradation
 	var err error
 	if useDAG {
-		sweeps, reapplied, degs, err = incrementalDAG(ctx, p, subs, preps, dag, pending, ttlSol, &tm, opt)
+		sweeps, reapplied, degs, err = incrementalDAG(ctx, p, subs, preps, warms, dag, pending, ttlSol, &tm, opt)
 	} else {
-		sweeps, reapplied, degs, err = incrementalSequential(ctx, p, subs, preps, pending, ttlSol, &tm, opt)
+		sweeps, reapplied, degs, err = incrementalSequential(ctx, p, subs, preps, warms, pending, ttlSol, &tm, opt)
 	}
 	if err != nil {
 		return nil, err
@@ -157,6 +202,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	out.Timings = tm
 	out.Degradations = degs
 	out.DAG = dagStats
+	cr.commit(p, out, preps, sink)
 	return out, nil
 }
 
@@ -165,7 +211,7 @@ func IncrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 // problems after each merge. It mutates ttlSol, pending and tm, and returns
 // the performed sweeps, the re-applied savings magnitude and the
 // degradations in sub index order.
-func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options) (int, float64, []Degradation, error) {
+func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, warms [][]int8, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options) (int, float64, []Degradation, error) {
 	sink := obs.FromContext(ctx)
 	sweeps := 0
 	var reapplied float64
@@ -200,7 +246,7 @@ func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubP
 				atomic.AddInt64(&overlapEncNanos, int64(time.Since(t0)))
 			}(preps[i+1])
 		}
-		best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), opt.Parallelism)
+		best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), warms[i], opt.Parallelism)
 		specWG.Wait()
 		if err != nil {
 			if opt.FailFast || isPipelineError(err) {
@@ -324,7 +370,7 @@ func solveWhole(ctx context.Context, p *mqo.Problem, opt Options, strategy strin
 	}
 	enc := pp.Encoding()
 	tm.Encode = time.Since(encStart)
-	best, performed, st, err := solveEncoded(ctx, opt.Device, enc, opt.Runs, opt.partitionSweeps(1, 0), opt.Seed, opt.Parallelism)
+	best, performed, st, err := solveEncoded(ctx, opt.Device, enc, opt.Runs, opt.partitionSweeps(1, 0), opt.Seed, nil, opt.Parallelism)
 	var degs []Degradation
 	if err != nil {
 		if opt.FailFast || isPipelineError(err) {

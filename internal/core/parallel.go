@@ -62,7 +62,7 @@ func SolveParallel(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, 
 			if sink.Enabled() {
 				sink.Emit(obs.Event{Name: "encode", Label: subLabel(i), Dur: encDur, N: 1})
 			}
-			best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), perSolve[i])
+			best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), nil, perSolve[i])
 			if err != nil {
 				if opt.FailFast || isPipelineError(err) {
 					return err

@@ -169,6 +169,30 @@ func (s *Session) Wait() (*Outcome, error) {
 	return s.out, s.err
 }
 
+// Problem returns the problem this session solves.
+func (s *Session) Problem() *mqo.Problem { return s.p }
+
+// ApplyDelta derives a fresh, unstarted Session solving s's problem with d
+// applied, carrying over the options and strategy. When the options hold a
+// cross-solve cache, the cached state of s's problem — partitioning,
+// incumbent, encoding skeletons — is migrated to the delta'd structure, so
+// the derived session re-partitions only the region the delta touched and
+// can warm-start from the previous incumbent (drift permitting). The
+// receiver is unaffected: a running solve keeps running, a finished one
+// keeps its outcome. ApplyDelta may be called before or after Start.
+func (s *Session) ApplyDelta(d mqo.Delta) (*Session, error) {
+	np, dm, err := d.Apply(s.p)
+	if err != nil {
+		return nil, err
+	}
+	if s.opt.Cache != nil {
+		s.opt.Cache.MigrateDelta(s.p, np, dm, s.opt.capacity())
+	}
+	ns := NewSession(np, s.opt)
+	ns.Strategy = s.Strategy
+	return ns, nil
+}
+
 // Run is Start followed by Wait: a drop-in replacement for the one-shot
 // Solve* calls. The incumbent stream is still live during Run; callers
 // that ignore it lose nothing (the stream buffer drops, never blocks).

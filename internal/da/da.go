@@ -185,7 +185,9 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 			return
 		}
 		rt := sink.StartRun("da", label, run)
-		sample, p := s.anneal(ctx, m, prm, rand.New(rand.NewSource(seeds[run])), deadline, rt)
+		rng := rand.New(rand.NewSource(seeds[run]))
+		st := solver.InitialState(req, run, runs, rng)
+		sample, p := s.anneal(ctx, m, prm, st, rng, deadline, rt)
 		samples[run], performed[run], done[run] = sample, p, true
 	}
 	workers := solver.Workers(req.Parallelism)
@@ -211,9 +213,8 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 // and returns the best sample seen. rt records the run's convergence
 // trajectory and acceptance counters; a nil rt (tracing disabled) keeps the
 // loop allocation-free — every recorder call is one nil-check branch.
-func (s *Solver) anneal(ctx context.Context, m *qubo.Model, prm runParams, rng *rand.Rand, deadline time.Time, rt *obs.RunTrace) (solver.Sample, int) {
+func (s *Solver) anneal(ctx context.Context, m *qubo.Model, prm runParams, st *qubo.State, rng *rand.Rand, deadline time.Time, rt *obs.RunTrace) (solver.Sample, int) {
 	n := m.NumVariables()
-	st := qubo.NewRandomState(m, rng)
 	var best qubo.BestTracker
 	best.Observe(st)
 	rt.Observe(0, best.Energy())

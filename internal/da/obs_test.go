@@ -58,7 +58,8 @@ func TestDisabledSinkAnnealNoPerStepAllocs(t *testing.T) {
 	annealAllocs := func(steps int) float64 {
 		prm := s.newRunParams(m, steps)
 		return testing.AllocsPerRun(10, func() {
-			s.anneal(ctx, m, prm, rand.New(rand.NewSource(3)), time.Time{}, nil)
+			rng := rand.New(rand.NewSource(3))
+			s.anneal(ctx, m, prm, qubo.NewRandomState(m, rng), rng, time.Time{}, nil)
 		})
 	}
 	short, long := annealAllocs(100), annealAllocs(4000)

@@ -63,7 +63,7 @@ func (s *Solver) SolvePT(ctx context.Context, req solver.Request) (*solver.Resul
 	states := make([]*qubo.State, replicas)
 	rngs := make([]*rand.Rand, replicas)
 	for i := range states {
-		states[i] = qubo.NewRandomState(m, rng)
+		states[i] = solver.InitialState(req, i, replicas, rng)
 		rngs[i] = rand.New(rand.NewSource(rng.Int63()))
 	}
 	// Per-slot best trackers: replicas interact only at exchange barriers,

@@ -114,6 +114,68 @@ func PrepareMQO(p *mqo.Problem) (*PreparedMQO, error) {
 	return pp, nil
 }
 
+// Rebind points the skeleton at np — a problem with the same shape as the
+// one it was prepared for (query/plan layout, savings pairs, and the same
+// zero/non-zero saving pattern, since zero-valued savings emit no term) but
+// possibly different weights — recomputing the value-dependent arrays in
+// PrepareMQO's exact accumulation order. The materialisation buffers
+// survive, so the next Encoding call is a single in-place reweight whose
+// coefficients are bit-identical to a fresh PrepareMQO(np) followed by
+// Encoding (pinned by TestRebindMatchesFresh). This is what lets the
+// cross-solve cache (internal/solvecache) share skeletons between solves of
+// recurring problem structures.
+//
+// Rebind returns false, leaving the receiver untouched, when np's shape
+// differs — the caller prepares a fresh skeleton instead, so a cache-key
+// collision can never corrupt an encoding.
+func (pp *PreparedMQO) Rebind(np *mqo.Problem) bool {
+	op := pp.Problem
+	if np.NumQueries() != op.NumQueries() || np.NumPlans() != op.NumPlans() {
+		return false
+	}
+	for q := 0; q < op.NumQueries(); q++ {
+		if len(np.Plans(q)) != len(op.Plans(q)) {
+			return false
+		}
+	}
+	os, ns := op.Savings(), np.Savings()
+	if len(ns) != len(os) {
+		return false
+	}
+	for i, s := range os {
+		if ns[i].P1 != s.P1 || ns[i].P2 != s.P2 || (ns[i].Value == 0) != (s.Value == 0) {
+			return false
+		}
+	}
+	// Shape verified: rebuild the incident sums and savings-term constants
+	// from np's values, walking the same emission order as PrepareMQO so
+	// term index ti tracks exactly the terms the savings produced.
+	for i := range pp.incident {
+		pp.incident[i] = 0
+	}
+	for _, s := range ns {
+		pp.incident[s.P1] += s.Value
+		pp.incident[s.P2] += s.Value
+	}
+	si, ti := 0, 0
+	for i := 0; i < np.NumPlans(); i++ {
+		plans := np.Plans(np.QueryOf(i))
+		ti += plans[len(plans)-1] + 1 - (i + 1) // clique terms of row i: const 0, untouched
+		for ; si < len(ns) && ns[si].P1 == i; si++ {
+			if ns[si].Value == 0 {
+				continue
+			}
+			pp.termConst[ti] = -ns[si].Value
+			ti++
+		}
+	}
+	pp.Problem = np
+	if pp.enc != nil {
+		pp.enc.Problem = np
+	}
+	return true
+}
+
 // Penalty derives the one-hot penalty A from the problem's current costs,
 // bit-identical to SufficientPenalty (the incident-savings sums are
 // prepared in the same accumulation order).

@@ -1,0 +1,128 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+
+	"incranneal/internal/mqo"
+)
+
+// reweighted returns a copy of p with every plan cost and non-zero saving
+// value jittered, preserving the shape (and the zero/non-zero saving
+// pattern) exactly.
+func reweighted(t *testing.T, p *mqo.Problem, rng *rand.Rand) *mqo.Problem {
+	t.Helper()
+	costs := make([][]float64, p.NumQueries())
+	for q := range costs {
+		cs := make([]float64, len(p.Plans(q)))
+		for i, pl := range p.Plans(q) {
+			cs[i] = p.Cost(pl) * (0.5 + rng.Float64())
+		}
+		costs[q] = cs
+	}
+	savings := append([]mqo.Saving(nil), p.Savings()...)
+	for i := range savings {
+		if savings[i].Value != 0 {
+			savings[i].Value *= 0.5 + rng.Float64()
+		}
+	}
+	np, err := mqo.NewProblem(costs, savings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+// TestRebindMatchesFresh pins the cross-solve skeleton-sharing contract: a
+// skeleton rebound to a same-shape, different-weight problem materialises an
+// encoding bit-identical to a fresh PrepareMQO of that problem.
+func TestRebindMatchesFresh(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomSmallProblem(rng)
+		pp, err := PrepareMQO(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Materialise once so Rebind exercises the buffer-reuse path too.
+		pp.Encoding()
+		for round := 0; round < 3; round++ {
+			np := reweighted(t, p, rng)
+			if !pp.Rebind(np) {
+				t.Fatalf("seed %d round %d: Rebind rejected a same-shape problem", seed, round)
+			}
+			if pp.Problem != np {
+				t.Fatalf("seed %d: Rebind did not adopt the new problem", seed)
+			}
+			assertMatchesFresh(t, pp, "after rebind")
+		}
+	}
+}
+
+func TestRebindZeroSavingPattern(t *testing.T) {
+	base := [][]float64{{3, 5}, {2, 4}, {6, 1}}
+	p1, err := mqo.NewProblem(base, []mqo.Saving{{P1: 0, P2: 2, Value: 0}, {P1: 1, P2: 4, Value: 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := PrepareMQO(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same pairs, same zero pattern, new value: must rebind and match fresh.
+	p2, err := mqo.NewProblem(base, []mqo.Saving{{P1: 0, P2: 2, Value: 0}, {P1: 1, P2: 4, Value: 7.75}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pp.Rebind(p2) {
+		t.Fatal("Rebind rejected a matching zero pattern")
+	}
+	assertMatchesFresh(t, pp, "zero pattern kept")
+	// A zero saving turning non-zero changes the emitted term set: the
+	// skeleton has no slot for it, so Rebind must refuse.
+	p3, err := mqo.NewProblem(base, []mqo.Saving{{P1: 0, P2: 2, Value: 1}, {P1: 1, P2: 4, Value: 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Rebind(p3) {
+		t.Fatal("Rebind accepted a zero saving turned non-zero")
+	}
+	if pp.Problem != p2 {
+		t.Fatal("failed Rebind mutated the receiver")
+	}
+	assertMatchesFresh(t, pp, "after refused rebind")
+}
+
+func TestRebindRejectsShapeChanges(t *testing.T) {
+	p, err := mqo.NewProblem([][]float64{{3, 5}, {2, 4}}, []mqo.Saving{{P1: 0, P2: 2, Value: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := PrepareMQO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		costs   [][]float64
+		savings []mqo.Saving
+	}{
+		{"extra query", [][]float64{{3, 5}, {2, 4}, {1}}, []mqo.Saving{{P1: 0, P2: 2, Value: 2}}},
+		{"extra plan", [][]float64{{3, 5, 7}, {2, 4}}, []mqo.Saving{{P1: 0, P2: 3, Value: 2}}},
+		{"rewired saving", [][]float64{{3, 5}, {2, 4}}, []mqo.Saving{{P1: 1, P2: 3, Value: 2}}},
+		{"extra saving", [][]float64{{3, 5}, {2, 4}}, []mqo.Saving{{P1: 0, P2: 2, Value: 2}, {P1: 1, P2: 3, Value: 1}}},
+		{"no savings", [][]float64{{3, 5}, {2, 4}}, nil},
+	}
+	for _, tc := range cases {
+		np, err := mqo.NewProblem(tc.costs, tc.savings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp.Rebind(np) {
+			t.Errorf("%s: Rebind accepted a shape change", tc.name)
+		}
+		if pp.Problem != p {
+			t.Fatalf("%s: failed Rebind mutated the receiver", tc.name)
+		}
+	}
+}

@@ -157,7 +157,9 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 			return
 		}
 		rt := sink.StartRun("hqa", label, run)
-		sample, sw := s.hybridRun(ctx, m, iters, rand.New(rand.NewSource(seeds[run])), deadline, rt)
+		rng := rand.New(rand.NewSource(seeds[run]))
+		st := solver.InitialState(req, run, runs, rng)
+		sample, sw := s.hybridRun(ctx, m, iters, st, rng, deadline, rt)
 		samples[run], sweepCounts[run], done[run] = sample, sw, true
 	}
 	workers := solver.Workers(req.Parallelism)
@@ -184,8 +186,7 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 // it on the simulated QPU and re-integrate improvements. rt records the
 // incumbent trajectory (per hybrid iteration) and counts integrated QPU
 // suggestions as "flips" out of the iterations proposed.
-func (s *Solver) hybridRun(ctx context.Context, m *qubo.Model, iters int, rng *rand.Rand, deadline time.Time, rt *obs.RunTrace) (solver.Sample, int) {
-	st := qubo.NewRandomState(m, rng)
+func (s *Solver) hybridRun(ctx context.Context, m *qubo.Model, iters int, st *qubo.State, rng *rand.Rand, deadline time.Time, rt *obs.RunTrace) (solver.Sample, int) {
 	descend(st)
 	var best qubo.BestTracker
 	best.Observe(st)

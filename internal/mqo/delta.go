@@ -1,0 +1,175 @@
+package mqo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta describes an incremental edit of a Problem between solves of a
+// recurring workload: cost updates, saving re-valuations, query removals
+// and query additions. Apply produces the edited problem together with the
+// index maps relating old and new numbering — the contract through which
+// core.Session.ApplyDelta and the cross-solve cache migrate partitionings,
+// skeletons and incumbents instead of recomputing them.
+type Delta struct {
+	// SetCosts maps global plan index (pre-delta numbering) to a new
+	// execution cost. Entries for plans of removed queries are ignored —
+	// the removal wins.
+	SetCosts map[int]float64
+	// SetSavings re-values existing savings. Each entry's (P1, P2) pair
+	// (any order, pre-delta numbering) must name a saving the problem
+	// already has; re-wiring savings is a structural change expressed by
+	// removing and re-adding queries. Entries with a removed endpoint are
+	// ignored.
+	SetSavings []Saving
+	// RemoveQueries lists pre-delta query indices to drop, with their
+	// plans and every incident saving. Duplicates are rejected.
+	RemoveQueries []int
+	// AddQueries appends new queries after the surviving ones, in order.
+	AddQueries []AddedQuery
+}
+
+// AddedQuery is one query joining the problem through a Delta.
+type AddedQuery struct {
+	// PlanCosts lists the new query's plan costs (all positive, as in
+	// NewProblem).
+	PlanCosts []float64
+	// Savings connect the new query to the pre-delta problem: P1 is a
+	// LOCAL plan index (0..len(PlanCosts)-1) of this query, P2 a global
+	// plan index of the pre-delta problem. P2 plans of removed queries
+	// are rejected. Savings between two queries added by the same delta
+	// are not expressible; add them with a follow-up delta.
+	Savings []Saving
+}
+
+// DeltaMap relates pre- and post-delta numbering.
+type DeltaMap struct {
+	// QueryMap[oldQ] is the old query's new index, or -1 when removed.
+	QueryMap []int
+	// PlanMap[oldPl] is the old plan's new global index, or -1 when its
+	// query was removed.
+	PlanMap []int
+	// AddedQueries lists the new query indices of Delta.AddQueries, in
+	// order.
+	AddedQueries []int
+	// StructureChanged reports whether the edit touched the problem shape
+	// (any removal or addition) rather than weights only.
+	StructureChanged bool
+}
+
+// Apply builds the post-delta problem. p is immutable and untouched;
+// surviving queries keep their relative order, added queries append after
+// them. The returned problem passes the same validation as NewProblem.
+func (d Delta) Apply(p *Problem) (*Problem, *DeltaMap, error) {
+	removed := make([]bool, p.NumQueries())
+	for _, q := range d.RemoveQueries {
+		if q < 0 || q >= p.NumQueries() {
+			return nil, nil, fmt.Errorf("mqo: delta removes query %d out of range [0,%d)", q, p.NumQueries())
+		}
+		if removed[q] {
+			return nil, nil, fmt.Errorf("mqo: delta removes query %d twice", q)
+		}
+		removed[q] = true
+	}
+	if len(d.RemoveQueries) == p.NumQueries() && len(d.AddQueries) == 0 {
+		return nil, nil, fmt.Errorf("mqo: delta removes every query")
+	}
+	for pl := range d.SetCosts {
+		if pl < 0 || pl >= p.NumPlans() {
+			return nil, nil, fmt.Errorf("mqo: delta sets cost of plan %d out of range [0,%d)", pl, p.NumPlans())
+		}
+	}
+
+	dm := &DeltaMap{
+		QueryMap:         make([]int, p.NumQueries()),
+		PlanMap:          make([]int, p.NumPlans()),
+		StructureChanged: len(d.RemoveQueries) > 0 || len(d.AddQueries) > 0,
+	}
+	var planCosts [][]float64
+	nextQ, nextPl := 0, 0
+	for q := 0; q < p.NumQueries(); q++ {
+		if removed[q] {
+			dm.QueryMap[q] = -1
+			for _, pl := range p.Plans(q) {
+				dm.PlanMap[pl] = -1
+			}
+			continue
+		}
+		dm.QueryMap[q] = nextQ
+		nextQ++
+		costs := make([]float64, 0, len(p.Plans(q)))
+		for _, pl := range p.Plans(q) {
+			c := p.Cost(pl)
+			if nc, ok := d.SetCosts[pl]; ok {
+				c = nc
+			}
+			costs = append(costs, c)
+			dm.PlanMap[pl] = nextPl
+			nextPl++
+		}
+		planCosts = append(planCosts, costs)
+	}
+	addedPlanBase := make([]int, len(d.AddQueries))
+	for i, aq := range d.AddQueries {
+		dm.AddedQueries = append(dm.AddedQueries, nextQ)
+		nextQ++
+		addedPlanBase[i] = nextPl
+		nextPl += len(aq.PlanCosts)
+		planCosts = append(planCosts, append([]float64(nil), aq.PlanCosts...))
+	}
+
+	// Re-valuations are checked against the pre-delta savings list, then
+	// folded in while the surviving savings are renumbered.
+	override := make(map[[2]int]float64, len(d.SetSavings))
+	for _, s := range d.SetSavings {
+		s = s.Canonical()
+		if !p.hasSaving(s.P1, s.P2) {
+			return nil, nil, fmt.Errorf("mqo: delta re-values missing saving (%d,%d)", s.P1, s.P2)
+		}
+		override[[2]int{s.P1, s.P2}] = s.Value
+	}
+	var savings []Saving
+	for _, s := range p.Savings() {
+		n1, n2 := dm.PlanMap[s.P1], dm.PlanMap[s.P2]
+		if n1 < 0 || n2 < 0 {
+			continue
+		}
+		v := s.Value
+		if ov, ok := override[[2]int{s.P1, s.P2}]; ok {
+			v = ov
+		}
+		savings = append(savings, Saving{P1: n1, P2: n2, Value: v})
+	}
+	for i, aq := range d.AddQueries {
+		for _, s := range aq.Savings {
+			if s.P1 < 0 || s.P1 >= len(aq.PlanCosts) {
+				return nil, nil, fmt.Errorf("mqo: added query %d: saving local plan %d out of range [0,%d)", i, s.P1, len(aq.PlanCosts))
+			}
+			if s.P2 < 0 || s.P2 >= p.NumPlans() {
+				return nil, nil, fmt.Errorf("mqo: added query %d: saving references plan %d out of range [0,%d)", i, s.P2, p.NumPlans())
+			}
+			other := dm.PlanMap[s.P2]
+			if other < 0 {
+				return nil, nil, fmt.Errorf("mqo: added query %d: saving references plan %d of removed query %d", i, s.P2, p.QueryOf(s.P2))
+			}
+			savings = append(savings, Saving{P1: addedPlanBase[i] + s.P1, P2: other, Value: s.Value})
+		}
+	}
+	np, err := NewProblem(planCosts, savings)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mqo: delta: %w", err)
+	}
+	np.Name = p.Name
+	return np, dm, nil
+}
+
+// hasSaving reports whether the canonical pair (p1, p2), p1 < p2, names an
+// existing saving (regardless of its value — zero-valued savings exist as
+// structure).
+func (p *Problem) hasSaving(p1, p2 int) bool {
+	i := sort.Search(len(p.savings), func(i int) bool {
+		s := p.savings[i]
+		return s.P1 > p1 || (s.P1 == p1 && s.P2 >= p2)
+	})
+	return i < len(p.savings) && p.savings[i].P1 == p1 && p.savings[i].P2 == p2
+}

@@ -1,0 +1,193 @@
+package mqo
+
+import (
+	"testing"
+)
+
+// deltaBase builds the shared fixture: three queries with two plans each and
+// a savings chain q0–q1 (plans 0,2) and q1–q2 (plans 3,4).
+func deltaBase(t *testing.T) *Problem {
+	t.Helper()
+	p, err := NewProblem(
+		[][]float64{{3, 5}, {2, 4}, {6, 1}},
+		[]Saving{{P1: 0, P2: 2, Value: 1.5}, {P1: 3, P2: 4, Value: 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Name = "delta-base"
+	return p
+}
+
+func TestDeltaWeightOnly(t *testing.T) {
+	p := deltaBase(t)
+	d := Delta{
+		SetCosts:   map[int]float64{1: 9, 4: 7.5},
+		SetSavings: []Saving{{P1: 2, P2: 0, Value: 3.25}}, // reversed pair order is fine
+	}
+	np, dm, err := d.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.StructureChanged {
+		t.Fatal("weight-only delta reported a structure change")
+	}
+	for q, want := range []int{0, 1, 2} {
+		if dm.QueryMap[q] != want {
+			t.Fatalf("query map = %v", dm.QueryMap)
+		}
+	}
+	for pl, want := range []int{0, 1, 2, 3, 4, 5} {
+		if dm.PlanMap[pl] != want {
+			t.Fatalf("plan map = %v", dm.PlanMap)
+		}
+	}
+	if np.Cost(1) != 9 || np.Cost(4) != 7.5 || np.Cost(0) != 3 {
+		t.Fatalf("costs not applied: %v %v %v", np.Cost(1), np.Cost(4), np.Cost(0))
+	}
+	sv := np.Savings()
+	if len(sv) != 2 || sv[0].Value != 3.25 || sv[1].Value != 2 {
+		t.Fatalf("savings not applied: %v", sv)
+	}
+	// The source problem is immutable.
+	if p.Cost(1) != 5 || p.Savings()[0].Value != 1.5 {
+		t.Fatal("Apply mutated the source problem")
+	}
+	if np.Name != p.Name {
+		t.Fatalf("name not carried: %q", np.Name)
+	}
+}
+
+func TestDeltaRemoveQuery(t *testing.T) {
+	p := deltaBase(t)
+	np, dm, err := Delta{RemoveQueries: []int{1}}.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dm.StructureChanged {
+		t.Fatal("removal did not report a structure change")
+	}
+	if np.NumQueries() != 2 || np.NumPlans() != 4 {
+		t.Fatalf("post-removal shape: %d queries, %d plans", np.NumQueries(), np.NumPlans())
+	}
+	if dm.QueryMap[0] != 0 || dm.QueryMap[1] != -1 || dm.QueryMap[2] != 1 {
+		t.Fatalf("query map = %v", dm.QueryMap)
+	}
+	want := []int{0, 1, -1, -1, 2, 3}
+	for pl, w := range want {
+		if dm.PlanMap[pl] != w {
+			t.Fatalf("plan map = %v, want %v", dm.PlanMap, want)
+		}
+	}
+	// Both savings had an endpoint in query 1: all gone.
+	if np.NumSavings() != 0 {
+		t.Fatalf("incident savings survived: %v", np.Savings())
+	}
+}
+
+func TestDeltaAddQuery(t *testing.T) {
+	p := deltaBase(t)
+	d := Delta{AddQueries: []AddedQuery{{
+		PlanCosts: []float64{7, 8},
+		Savings:   []Saving{{P1: 1, P2: 5, Value: 4}}, // local plan 1 ↔ global plan 5
+	}}}
+	np, dm, err := d.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.NumQueries() != 4 || np.NumPlans() != 8 {
+		t.Fatalf("post-add shape: %d queries, %d plans", np.NumQueries(), np.NumPlans())
+	}
+	if len(dm.AddedQueries) != 1 || dm.AddedQueries[0] != 3 {
+		t.Fatalf("added queries = %v", dm.AddedQueries)
+	}
+	if np.Cost(6) != 7 || np.Cost(7) != 8 {
+		t.Fatalf("added plan costs: %v %v", np.Cost(6), np.Cost(7))
+	}
+	found := false
+	for _, s := range np.Savings() {
+		if s.P1 == 5 && s.P2 == 7 && s.Value == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("added saving missing: %v", np.Savings())
+	}
+}
+
+func TestDeltaRemoveAndAddCombined(t *testing.T) {
+	p := deltaBase(t)
+	d := Delta{
+		SetCosts:      map[int]float64{0: 11, 2: 12}, // plan 2 belongs to removed query 1: ignored
+		RemoveQueries: []int{1},
+		AddQueries: []AddedQuery{{
+			PlanCosts: []float64{9},
+			Savings:   []Saving{{P1: 0, P2: 0, Value: 6}},
+		}},
+	}
+	np, dm, err := d.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.NumQueries() != 3 || np.NumPlans() != 5 {
+		t.Fatalf("shape: %d queries, %d plans", np.NumQueries(), np.NumPlans())
+	}
+	if np.Cost(0) != 11 {
+		t.Fatalf("surviving cost update lost: %v", np.Cost(0))
+	}
+	// Added query index 2, its plan is global 4; saving to old plan 0 = new 0.
+	sv := np.Savings()
+	if len(sv) != 1 || sv[0].P1 != 0 || sv[0].P2 != 4 || sv[0].Value != 6 {
+		t.Fatalf("savings = %v", sv)
+	}
+	if dm.QueryMap[1] != -1 || dm.AddedQueries[0] != 2 {
+		t.Fatalf("maps: %v %v", dm.QueryMap, dm.AddedQueries)
+	}
+}
+
+func TestDeltaErrors(t *testing.T) {
+	p := deltaBase(t)
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"remove out of range", Delta{RemoveQueries: []int{3}}},
+		{"remove negative", Delta{RemoveQueries: []int{-1}}},
+		{"remove twice", Delta{RemoveQueries: []int{1, 1}}},
+		{"remove everything", Delta{RemoveQueries: []int{0, 1, 2}}},
+		{"cost out of range", Delta{SetCosts: map[int]float64{6: 1}}},
+		{"revalue missing saving", Delta{SetSavings: []Saving{{P1: 0, P2: 4, Value: 1}}}},
+		{"added saving local out of range", Delta{AddQueries: []AddedQuery{{PlanCosts: []float64{1}, Savings: []Saving{{P1: 1, P2: 0, Value: 1}}}}}},
+		{"added saving global out of range", Delta{AddQueries: []AddedQuery{{PlanCosts: []float64{1}, Savings: []Saving{{P1: 0, P2: 9, Value: 1}}}}}},
+		{"added saving to removed query", Delta{RemoveQueries: []int{1}, AddQueries: []AddedQuery{{PlanCosts: []float64{1}, Savings: []Saving{{P1: 0, P2: 2, Value: 1}}}}}},
+		{"added query invalid cost", Delta{AddQueries: []AddedQuery{{PlanCosts: []float64{-1}}}}},
+	}
+	for _, tc := range cases {
+		if _, _, err := tc.d.Apply(p); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Removing everything while adding is legal.
+	if _, _, err := (Delta{RemoveQueries: []int{0, 1, 2}, AddQueries: []AddedQuery{{PlanCosts: []float64{1}}}}).Apply(p); err != nil {
+		t.Errorf("remove-all-with-add rejected: %v", err)
+	}
+}
+
+func TestDeltaEmptyIsIdentity(t *testing.T) {
+	p := deltaBase(t)
+	np, dm, err := Delta{}.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.StructureChanged {
+		t.Fatal("empty delta reported a structure change")
+	}
+	if np.NumQueries() != p.NumQueries() || np.NumPlans() != p.NumPlans() || np.NumSavings() != p.NumSavings() {
+		t.Fatal("empty delta changed the shape")
+	}
+	for pl := 0; pl < p.NumPlans(); pl++ {
+		if np.Cost(pl) != p.Cost(pl) {
+			t.Fatalf("plan %d cost changed", pl)
+		}
+	}
+}

@@ -99,12 +99,60 @@ func Partition(ctx context.Context, p *mqo.Problem, opt Options) (*Result, error
 		return nil, fmt.Errorf("partition: capacity must be positive, got %d", opt.Capacity)
 	}
 	start := time.Now()
-	sink := obs.FromContext(ctx)
 	g := BuildGraph(p)
 	all := make([]int, p.NumQueries())
 	for i := range all {
 		all[i] = i
 	}
+	return refit(ctx, g, p, [][]int{all}, opt, start)
+}
+
+// Refit re-validates an existing partitioning of p — typically the
+// cross-solve cache's partitioning of a recurring problem structure, or a
+// delta-migrated one — against the current capacity: conforming query sets
+// are kept verbatim with no annealer work, and only sets whose plan weight
+// outgrew the capacity are recursively re-bisected, exactly as Partition
+// would split them. querySets must cover every query of p exactly once
+// (violations return an error — this is also the safety net that turns a
+// structure-fingerprint collision into a recoverable failure instead of a
+// wrong answer). For a partitioning Partition itself produced on a problem
+// with unchanged structure and unchanged capacity, Refit reproduces
+// Partition's Result bit-identically: every set already conforms, and the
+// stable descending-weight re-sort and parallel extraction are the same
+// tail Partition runs.
+func Refit(ctx context.Context, p *mqo.Problem, querySets [][]int, opt Options) (*Result, error) {
+	if opt.Capacity <= 0 {
+		return nil, fmt.Errorf("partition: capacity must be positive, got %d", opt.Capacity)
+	}
+	start := time.Now()
+	seen := make([]bool, p.NumQueries())
+	count := 0
+	initial := make([][]int, len(querySets))
+	for i, qs := range querySets {
+		for _, q := range qs {
+			if q < 0 || q >= p.NumQueries() {
+				return nil, fmt.Errorf("partition: refit query %d out of range [0,%d)", q, p.NumQueries())
+			}
+			if seen[q] {
+				return nil, fmt.Errorf("partition: refit covers query %d twice", q)
+			}
+			seen[q] = true
+			count++
+		}
+		initial[i] = append([]int(nil), qs...)
+	}
+	if count != p.NumQueries() {
+		return nil, fmt.Errorf("partition: refit covers %d of %d queries", count, p.NumQueries())
+	}
+	return refit(ctx, BuildGraph(p), p, initial, opt, start)
+}
+
+// refit is the shared partitioning core: recursively bisect every initial
+// query set that exceeds the capacity, then sort, extract and account the
+// conforming sets. Partition passes the all-queries set; Refit passes a
+// previous partitioning.
+func refit(ctx context.Context, g *Graph, p *mqo.Problem, initial [][]int, opt Options, start time.Time) (*Result, error) {
+	sink := obs.FromContext(ctx)
 	res := &Result{}
 	seed := opt.Seed
 	var recurse func(queries []int) error
@@ -131,8 +179,10 @@ func Partition(ctx context.Context, p *mqo.Problem, opt Options) (*Result, error
 		}
 		return recurse(part2)
 	}
-	if err := recurse(all); err != nil {
-		return nil, err
+	for _, qs := range initial {
+		if err := recurse(qs); err != nil {
+			return nil, err
+		}
 	}
 	// Largest partial problems first: the incumbent solution they seed
 	// steers all remaining solves.

@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"incranneal/internal/sa"
+)
+
+// TestRefitReproducesPartition pins the cross-solve cache's structure-hit
+// contract: feeding Partition's own query sets back through Refit (same
+// problem, same capacity) reproduces the Result bit-identically with zero
+// bisections.
+func TestRefitReproducesPartition(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 8+rng.Intn(8), 3, 0.2)
+		opt := Options{Capacity: 9, Solver: &sa.Solver{}, Runs: 2, Sweeps: 100, Seed: seed}
+		cold, err := Partition(context.Background(), p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit, err := Refit(context.Background(), p, cold.QuerySets, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit.Bisections != 0 {
+			t.Fatalf("seed %d: refit of a conforming partitioning ran %d bisections", seed, hit.Bisections)
+		}
+		if !reflect.DeepEqual(hit.QuerySets, cold.QuerySets) {
+			t.Fatalf("seed %d: query sets diverged\ncold %v\nhit  %v", seed, cold.QuerySets, hit.QuerySets)
+		}
+		if hit.DiscardedSavings != cold.DiscardedSavings {
+			t.Fatalf("seed %d: discarded savings %v vs %v", seed, hit.DiscardedSavings, cold.DiscardedSavings)
+		}
+		if len(hit.SubProblems) != len(cold.SubProblems) {
+			t.Fatalf("seed %d: %d vs %d sub-problems", seed, len(hit.SubProblems), len(cold.SubProblems))
+		}
+		for i := range hit.SubProblems {
+			a, b := hit.SubProblems[i], cold.SubProblems[i]
+			if a.Local.NumPlans() != b.Local.NumPlans() || a.DiscardedMagnitude() != b.DiscardedMagnitude() {
+				t.Fatalf("seed %d: sub-problem %d diverged", seed, i)
+			}
+		}
+	}
+}
+
+// TestRefitReBisectsOverflow gives Refit a partitioning whose single set
+// outgrew the capacity: only that set is re-bisected, conforming sets are
+// kept verbatim.
+func TestRefitReBisectsOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomProblem(rng, 12, 3, 0.2) // 36 plans
+	conforming := []int{0, 1}           // weight 6
+	overflowing := make([]int, 0, 10)
+	for q := 2; q < 12; q++ {
+		overflowing = append(overflowing, q) // weight 30 > 12
+	}
+	opt := Options{Capacity: 12, Solver: &sa.Solver{}, Runs: 2, Sweeps: 100, Seed: 7}
+	res, err := Refit(context.Background(), p, [][]int{conforming, overflowing}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bisections == 0 {
+		t.Fatal("overflowing set was not re-bisected")
+	}
+	found := false
+	seen := make([]bool, 12)
+	for _, qs := range res.QuerySets {
+		w := 0
+		for _, q := range qs {
+			if seen[q] {
+				t.Fatalf("query %d covered twice: %v", q, res.QuerySets)
+			}
+			seen[q] = true
+			w += len(p.Plans(q))
+		}
+		if len(qs) > 1 && w > 12 {
+			t.Fatalf("set %v exceeds capacity: weight %d", qs, w)
+		}
+		if len(qs) == 2 && qs[0] == 0 && qs[1] == 1 {
+			found = true
+		}
+	}
+	for q, s := range seen {
+		if !s {
+			t.Fatalf("query %d lost: %v", q, res.QuerySets)
+		}
+	}
+	if !found {
+		t.Fatalf("conforming set {0,1} was not kept verbatim: %v", res.QuerySets)
+	}
+}
+
+// TestRefitRejectsBadCoverage is the fingerprint-collision safety net: query
+// sets that do not cover p exactly once must error, never partition.
+func TestRefitRejectsBadCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomProblem(rng, 4, 2, 0.3)
+	opt := Options{Capacity: 8, Solver: &sa.Solver{}, Seed: 3}
+	cases := []struct {
+		name string
+		sets [][]int
+	}{
+		{"missing query", [][]int{{0, 1}, {2}}},
+		{"duplicate query", [][]int{{0, 1}, {1, 2, 3}}},
+		{"out of range", [][]int{{0, 1}, {2, 4}}},
+		{"negative", [][]int{{0, 1}, {2, -1}}},
+		{"foreign partitioning", [][]int{{0, 1, 2, 3, 4, 5}}},
+	}
+	for _, tc := range cases {
+		if _, err := Refit(context.Background(), p, tc.sets, opt); err == nil {
+			t.Errorf("%s: Refit accepted %v", tc.name, tc.sets)
+		}
+	}
+	if _, err := Refit(context.Background(), p, [][]int{{0, 1, 2, 3}}, Options{Solver: &sa.Solver{}}); err == nil {
+		t.Error("Refit accepted zero capacity")
+	}
+}

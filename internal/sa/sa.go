@@ -134,7 +134,7 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 		}
 		rt := sink.StartRun("sa", label, run)
 		runRng := rand.New(rand.NewSource(seeds[run]))
-		st := qubo.NewRandomState(m, runRng)
+		st := solver.InitialState(req, run, runs, runRng)
 		var best qubo.BestTracker
 		best.Observe(st)
 		rt.Observe(0, best.Energy())

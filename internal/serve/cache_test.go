@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"incranneal/internal/obs"
+)
+
+// TestServeCacheDisabledByDefault: without CacheEntries the fleet has no
+// cache and responses carry no cache outcome — the bit-identical-to-
+// standalone contract stays untouched.
+func TestServeCacheDisabledByDefault(t *testing.T) {
+	p := testProblem(t, 21)
+	s, ts := newTestServer(t, Config{Capacity: 40, Fleet: 1, Parallelism: -1})
+	if s.cache != nil {
+		t.Fatal("cache built without CacheEntries")
+	}
+	resp, body := postSolve(t, ts.URL, SolveRequest{
+		Problem: p,
+		Options: SolveOptions{Runs: 2, TotalSweeps: 200, Seed: 3},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache != nil {
+		t.Fatalf("cache outcome reported with caching off: %+v", out.Cache)
+	}
+}
+
+// TestServeCacheRecurrence solves the same problem twice through a cached
+// fleet: the second response reports a structure hit with a bit-identical
+// cost, and /statsz carries the cache.* gauges.
+func TestServeCacheRecurrence(t *testing.T) {
+	p := testProblem(t, 23)
+	sink := obs.NewSink(nil, obs.NewRegistry())
+	s, ts := newTestServer(t, Config{Capacity: 40, Fleet: 2, Parallelism: -1, CacheEntries: -1, WarmStartDrift: 0.2, Sink: sink})
+	if s.cache == nil {
+		t.Fatal("CacheEntries did not build the fleet cache")
+	}
+	req := SolveRequest{
+		Problem: p,
+		Options: SolveOptions{Runs: 2, TotalSweeps: 200, Seed: 3},
+	}
+	resp, body := postSolve(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var first SolveResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cache == nil || first.Cache.StructureHit {
+		t.Fatalf("first solve misreported its cache outcome: %+v", first.Cache)
+	}
+
+	resp, body = postSolve(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var second SolveResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Cache == nil || !second.Cache.StructureHit {
+		t.Fatalf("recurrence missed: %+v", second.Cache)
+	}
+	if second.Cache.WarmStart {
+		t.Fatalf("zero-drift recurrence warm-started: %+v", second.Cache)
+	}
+	if second.Cost != first.Cost {
+		t.Fatalf("recurrence cost %v differs from first solve %v", second.Cost, first.Cost)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, statsResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	stats := buf.String()
+	for _, g := range []string{"cache.structure.hits", "cache.structure.misses", "cache.skeleton.hits", "cache.entries"} {
+		if !strings.Contains(stats, g) {
+			t.Errorf("/statsz missing gauge %s:\n%s", g, stats)
+		}
+	}
+	if st := s.cache.Stats(); st.StructureHits < 1 || st.StructureMisses < 1 {
+		t.Fatalf("fleet cache stats = %+v, want at least 1 hit and 1 miss", st)
+	}
+}

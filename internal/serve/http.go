@@ -65,6 +65,9 @@ type SolveResponse struct {
 	DiscardedSavings float64 `json:"discardedSavings"`
 	ReappliedSavings float64 `json:"reappliedSavings"`
 	Degradations     int     `json:"degradations"`
+	// Cache reports the solve's cross-solve cache interaction (structure
+	// hit, skeleton reuse, warm start); absent when caching is disabled.
+	Cache *core.CacheOutcome `json:"cache,omitempty"`
 	// QueueMillis is time spent waiting for a fleet slot; SolveMillis is
 	// the solve itself; TotalMillis spans admission to response.
 	QueueMillis int64 `json:"queueMillis"`
@@ -321,6 +324,7 @@ func (s *Server) response(j *job, out *core.Outcome, device, strategy string, qu
 		DiscardedSavings: out.DiscardedSavings,
 		ReappliedSavings: out.ReappliedSavings,
 		Degradations:     len(out.Degradations),
+		Cache:            out.Cache,
 		QueueMillis:      queueWait.Milliseconds(),
 		SolveMillis:      out.Elapsed.Milliseconds(),
 		TotalMillis:      time.Since(j.admitted).Milliseconds(),

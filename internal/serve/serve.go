@@ -44,6 +44,7 @@ import (
 	"incranneal/internal/obs"
 	"incranneal/internal/resilience"
 	"incranneal/internal/sa"
+	"incranneal/internal/solvecache"
 	"incranneal/internal/solver"
 	"incranneal/internal/va"
 )
@@ -95,6 +96,18 @@ type Config struct {
 	// sequential). Zero means GOMAXPROCS. Results are identical for any
 	// setting.
 	Parallelism int
+	// CacheEntries enables the cross-solve cache shared by the whole
+	// fleet: solves of structurally identical problems skip recursive
+	// partitioning and rebind cached encoding skeletons, bounded to this
+	// many distinct problem structures (LRU). Zero disables caching —
+	// the default, preserving the bit-identical-to-standalone contract
+	// for every request sequence; negative selects the default bound.
+	CacheEntries int
+	// WarmStartDrift additionally seeds annealing runs from the cached
+	// incumbent when the relative weight drift is within
+	// (0, WarmStartDrift]. Only meaningful with CacheEntries set; zero
+	// disables warm starts.
+	WarmStartDrift float64
 	// Sink receives trace events and metrics for every solve the server
 	// runs (queue depth, admission outcomes and request latency are
 	// recorded in its Registry). Nil disables observation.
@@ -170,6 +183,10 @@ type Server struct {
 	cfg   Config
 	queue chan *job
 	mux   *http.ServeMux
+	// cache is the fleet-wide cross-solve cache (nil when disabled); all
+	// workers share it so any slot can reuse any slot's partitionings,
+	// skeletons and incumbents.
+	cache *solvecache.Cache
 
 	mu       sync.RWMutex
 	draining bool
@@ -194,6 +211,14 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{cfg: cfg, queue: make(chan *job, cfg.queueDepth())}
+	if cfg.CacheEntries != 0 {
+		n := cfg.CacheEntries
+		if n < 0 {
+			n = 0 // solvecache.New's default bound
+		}
+		s.cache = solvecache.New(n)
+		s.cache.Publish(s.registry())
+	}
 	s.mux = s.routes()
 	for i := 0; i < cfg.fleet(); i++ {
 		s.workers.Add(1)
@@ -297,6 +322,10 @@ func (s *Server) worker(slot int) {
 		}
 		opt := j.opt
 		opt.Device = stack
+		if s.cache != nil {
+			opt.Cache = s.cache
+			opt.WarmStartDrift = s.cfg.WarmStartDrift
+		}
 		sess := core.NewSession(j.problem, opt)
 		sess.Strategy = j.strategy
 		ctx := j.ctx

@@ -1,0 +1,183 @@
+package solvecache
+
+import (
+	"incranneal/internal/mqo"
+)
+
+// MigrateDelta rewrites the cached state of old's structure to match next,
+// the problem obtained by applying a delta with index maps dm, instead of
+// invalidating it. Removed queries leave their query sets; added queries
+// greedily join the set holding the most saving mass towards them (a
+// capacity-fitting set is preferred — when the best set would overflow, the
+// next solve's partition.Refit re-bisects exactly that set, which is the
+// delta API's "re-partition only the touched region" contract). The
+// incumbent's surviving selections carry over for warm starts; the weight
+// snapshot stays at the last *solved* weights (mapped into the new
+// numbering) so the next Lookup still measures drift against the solve that
+// produced the incumbent. Skeletons keep their shape keys: sets the delta
+// did not touch rebind as usual, stale shapes simply miss.
+//
+// A no-op when old's structure is not cached. capacity is the partial-
+// problem plan bound (core.Options.capacity()); <= 0 skips the fitting
+// preference.
+func (c *Cache) MigrateDelta(old, next *mqo.Problem, dm *mqo.DeltaMap, capacity int) {
+	if c == nil || dm == nil {
+		return
+	}
+	ko := StructureKey(old)
+	kn := StructureKey(next)
+	c.mu.Lock()
+	e := c.entries[ko]
+	if e == nil {
+		c.mu.Unlock()
+		return
+	}
+	if kn != ko {
+		delete(c.entries, ko)
+		c.entries[kn] = e // an existing entry for kn is superseded
+	}
+	c.clock++
+	e.lastUsed = c.clock
+	c.stats.DeltaMigrations++
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Query sets: map surviving members, drop emptied sets.
+	var sets [][]int
+	setOf := make([]int, next.NumQueries())
+	for i := range setOf {
+		setOf[i] = -1
+	}
+	for _, qs := range e.querySets {
+		var mapped []int
+		for _, q := range qs {
+			if q < 0 || q >= len(dm.QueryMap) {
+				continue
+			}
+			if nq := dm.QueryMap[q]; nq >= 0 {
+				mapped = append(mapped, nq)
+			}
+		}
+		if len(mapped) == 0 {
+			continue
+		}
+		for _, nq := range mapped {
+			setOf[nq] = len(sets)
+		}
+		sets = append(sets, mapped)
+	}
+	setWeight := make([]int, len(sets))
+	for si, qs := range sets {
+		for _, nq := range qs {
+			setWeight[si] += len(next.Plans(nq))
+		}
+	}
+	// Added queries: attach each to the set it shares the most saving mass
+	// with (ties to the lowest set index, for determinism), preferring sets
+	// it still fits into; no affinity means its own singleton set. Earlier
+	// additions are visible to later ones through setOf, so chained savings
+	// via intermediate deltas cluster naturally.
+	for _, nq := range dm.AddedQueries {
+		affinity := make(map[int]float64)
+		for _, pl := range next.Plans(nq) {
+			for _, s := range next.SavingsOf(pl) {
+				other := s.P1
+				if other == pl {
+					other = s.P2
+				}
+				if si := setOf[next.QueryOf(other)]; si >= 0 {
+					affinity[si] += s.Value
+				}
+			}
+		}
+		w := len(next.Plans(nq))
+		best, bestFits, bestAff := -1, false, 0.0
+		for si, aff := range affinity {
+			if aff <= 0 {
+				continue
+			}
+			fits := capacity <= 0 || setWeight[si]+w <= capacity
+			better := false
+			switch {
+			case fits != bestFits:
+				better = fits
+			case aff != bestAff:
+				better = aff > bestAff
+			default:
+				better = si < best
+			}
+			if best < 0 || better {
+				best, bestFits, bestAff = si, fits, aff
+			}
+		}
+		if best >= 0 {
+			sets[best] = append(sets[best], nq)
+			setWeight[best] += w
+			setOf[nq] = best
+		} else {
+			setOf[nq] = len(sets)
+			sets = append(sets, []int{nq})
+			setWeight = append(setWeight, w)
+		}
+	}
+	e.querySets = sets
+
+	// Incumbent: surviving selections map through; added queries start
+	// unassigned (warm starts leave their variables cold).
+	newInc := make([]int, next.NumQueries())
+	for i := range newInc {
+		newInc[i] = mqo.Unassigned
+	}
+	for oldQ, sel := range e.incumbent {
+		if oldQ >= len(dm.QueryMap) || sel < 0 || sel >= len(dm.PlanMap) {
+			continue
+		}
+		if nq := dm.QueryMap[oldQ]; nq >= 0 {
+			if np := dm.PlanMap[sel]; np >= 0 {
+				newInc[nq] = np
+			}
+		}
+	}
+	e.incumbent = newInc
+
+	// Weight snapshot: keep the last solve's weights, renumbered. Weights
+	// the delta introduced (added plans, added savings) take the new
+	// problem's values — they contribute zero drift, having no solved
+	// counterpart to drift from.
+	costs := make([]float64, next.NumPlans())
+	for pl := 0; pl < next.NumPlans(); pl++ {
+		costs[pl] = next.Cost(pl)
+	}
+	for oldPl, c0 := range e.costs {
+		if oldPl < len(dm.PlanMap) {
+			if np := dm.PlanMap[oldPl]; np >= 0 {
+				costs[np] = c0
+			}
+		}
+	}
+	oldVals := make(map[[2]int]float64, len(e.savings))
+	for i, s := range old.Savings() {
+		if i >= len(e.savings) {
+			break
+		}
+		n1, n2 := dm.PlanMap[s.P1], dm.PlanMap[s.P2]
+		if n1 < 0 || n2 < 0 {
+			continue
+		}
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		oldVals[[2]int{n1, n2}] = e.savings[i]
+	}
+	savings := make([]float64, next.NumSavings())
+	for i, s := range next.Savings() {
+		if v, ok := oldVals[[2]int{s.P1, s.P2}]; ok {
+			savings[i] = v
+		} else {
+			savings[i] = s.Value
+		}
+	}
+	e.costs, e.savings = costs, savings
+}

@@ -1,0 +1,135 @@
+package solvecache
+
+import (
+	"math/rand"
+	"testing"
+
+	"incranneal/internal/mqo"
+)
+
+// randomProblem derives a small random problem from rng: 1-5 queries, 1-4
+// plans each, ~40% pairwise cross-query saving density.
+func randomProblem(rng *rand.Rand) *mqo.Problem {
+	nq := 1 + rng.Intn(5)
+	costs := make([][]float64, nq)
+	for q := range costs {
+		row := make([]float64, 1+rng.Intn(4))
+		for i := range row {
+			row[i] = 1 + 19*rng.Float64()
+		}
+		costs[q] = row
+	}
+	p, err := mqo.NewProblem(costs, nil)
+	if err != nil {
+		panic(err)
+	}
+	var savings []mqo.Saving
+	for p1 := 0; p1 < p.NumPlans(); p1++ {
+		for p2 := p1 + 1; p2 < p.NumPlans(); p2++ {
+			if p.QueryOf(p1) == p.QueryOf(p2) || rng.Float64() > 0.4 {
+				continue
+			}
+			savings = append(savings, mqo.Saving{P1: p1, P2: p2, Value: 10 * rng.Float64()})
+		}
+	}
+	p, err = mqo.NewProblem(costs, savings)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FuzzStructureKey drives the fingerprint's core contract over random
+// problems: pure weight changes never move the key, every structural
+// mutation does, and WeightDrift of a reweighted copy is finite and
+// non-negative.
+func FuzzStructureKey(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s, 0.1)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, jitter float64) {
+		if jitter < 0 {
+			jitter = -jitter
+		}
+		if jitter > 0.9 {
+			jitter = 0.9
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng)
+		key := StructureKey(p)
+
+		// Weight-only mutation: same key.
+		costs := make([][]float64, p.NumQueries())
+		for q := range costs {
+			row := make([]float64, len(p.Plans(q)))
+			for i, pl := range p.Plans(q) {
+				row[i] = p.Cost(pl) * (1 + jitter*(2*rng.Float64()-1))
+			}
+			costs[q] = row
+		}
+		savings := append([]mqo.Saving(nil), p.Savings()...)
+		snapSavings := make([]float64, len(savings))
+		for i := range savings {
+			snapSavings[i] = savings[i].Value
+			if savings[i].Value != 0 {
+				savings[i].Value *= 1 + jitter*(2*rng.Float64()-1)
+			}
+		}
+		rp, err := mqo.NewProblem(costs, savings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if StructureKey(rp) != key {
+			t.Fatal("weight jitter moved the structure key")
+		}
+		snapCosts := make([]float64, p.NumPlans())
+		for pl := range snapCosts {
+			snapCosts[pl] = p.Cost(pl)
+		}
+		if d := WeightDrift(rp, snapCosts, snapSavings); d < 0 || d > 2*jitter+1e-9 {
+			t.Fatalf("drift %v outside [0, %v]", d, 2*jitter)
+		}
+
+		// Structural mutations: the key must move.
+		addQuery := func() *mqo.Problem {
+			c2 := append(append([][]float64(nil), costs...), []float64{1})
+			q, err := mqo.NewProblem(c2, savings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		}
+		addPlan := func() *mqo.Problem {
+			c2 := make([][]float64, len(costs))
+			copy(c2, costs)
+			c2[len(c2)-1] = append(append([]float64(nil), c2[len(c2)-1]...), 1)
+			// Savings reference global plan indices before the appended plan's
+			// position only if they precede it; appending to the LAST query
+			// keeps every existing index valid.
+			q, err := mqo.NewProblem(c2, savings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		}
+		dropSaving := func() *mqo.Problem {
+			if len(savings) == 0 {
+				return nil
+			}
+			q, err := mqo.NewProblem(costs, savings[1:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		}
+		for i, mutate := range []func() *mqo.Problem{addQuery, addPlan, dropSaving} {
+			m := mutate()
+			if m == nil {
+				continue
+			}
+			if StructureKey(m) == key {
+				t.Fatalf("structural mutation %d kept the key", i)
+			}
+		}
+	})
+}

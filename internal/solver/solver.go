@@ -45,6 +45,34 @@ type Request struct {
 	// execution. Solvers derive every run's RNG stream from Seed before
 	// dispatch, so Samples are identical for every Parallelism setting.
 	Parallelism int
+	// Warm optionally seeds part of the runs (or replicas) from a known
+	// assignment — the cross-solve cache's previous incumbent — instead of
+	// a uniformly random state. Devices build starting states through
+	// InitialState: the first WarmRuns-resolved runs start from Warm, the
+	// rest stay random, so the warm solve keeps the cold runs' exploration.
+	// Length must equal the model's variable count; an empty Warm is the
+	// historical fully-random behaviour, bit for bit.
+	Warm []int8
+	// WarmRuns bounds how many runs start from Warm; zero means half of
+	// the runs, rounded up. Ignored without Warm.
+	WarmRuns int
+}
+
+// WarmRunCount resolves how many of runs start from the request's Warm
+// assignment: WarmRuns when positive (capped at runs), otherwise half of
+// runs rounded up. Zero without a Warm assignment.
+func (r Request) WarmRunCount(runs int) int {
+	if len(r.Warm) == 0 {
+		return 0
+	}
+	w := r.WarmRuns
+	if w <= 0 {
+		w = (runs + 1) / 2
+	}
+	if w > runs {
+		w = runs
+	}
+	return w
 }
 
 // Sample is one candidate assignment with its energy.

@@ -1,0 +1,30 @@
+package solver
+
+import (
+	"math/rand"
+
+	"incranneal/internal/qubo"
+)
+
+// InitialState builds run number `run` of `runs`'s starting state for req:
+// the request's Warm assignment for the first WarmRunCount runs, a
+// uniformly random state drawn from rng otherwise. Every device kernel
+// funnels its state construction through here so warm starts behave
+// identically across devices.
+//
+// Determinism contract: a request without Warm consumes exactly the same
+// rng draws as qubo.NewRandomState always did, so cold solves are
+// bit-identical to the pre-warm-start code. Warm runs draw nothing from
+// rng — each run owns its own seed-derived stream (or, for population
+// devices, the master stream is only consumed per slot in construction
+// order), so skipping draws never shifts another run's stream on the cold
+// path. A Warm of the wrong length falls back to random rather than
+// panicking deep inside a device.
+func InitialState(req Request, run, runs int, rng *rand.Rand) *qubo.State {
+	if run < req.WarmRunCount(runs) && len(req.Warm) == req.Model.NumVariables() {
+		st := qubo.NewState(req.Model)
+		st.Reset(req.Warm)
+		return st
+	}
+	return qubo.NewRandomState(req.Model, rng)
+}

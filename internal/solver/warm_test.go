@@ -1,0 +1,98 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"incranneal/internal/qubo"
+)
+
+func TestWarmRunCount(t *testing.T) {
+	warm := []int8{0, 1, 0, 1}
+	cases := []struct {
+		name string
+		req  Request
+		runs int
+		want int
+	}{
+		{"no warm", Request{}, 8, 0},
+		{"no warm explicit count", Request{WarmRuns: 3}, 8, 0},
+		{"default half rounded up", Request{Warm: warm}, 8, 4},
+		{"default half odd", Request{Warm: warm}, 5, 3},
+		{"single run", Request{Warm: warm}, 1, 1},
+		{"explicit", Request{Warm: warm, WarmRuns: 2}, 8, 2},
+		{"explicit capped", Request{Warm: warm, WarmRuns: 20}, 8, 8},
+	}
+	for _, tc := range cases {
+		if got := tc.req.WarmRunCount(tc.runs); got != tc.want {
+			t.Errorf("%s: WarmRunCount(%d) = %d, want %d", tc.name, tc.runs, got, tc.want)
+		}
+	}
+}
+
+func TestInitialStateWarmAndCold(t *testing.T) {
+	m := model(4)
+	warm := []int8{1, 0, 1, 1}
+	req := Request{Model: m, Warm: warm}
+	runs := 4 // default warm count = 2
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(9))
+		st := InitialState(req, run, runs, rng)
+		if run < 2 {
+			for i, v := range warm {
+				if st.Get(i) != v {
+					t.Fatalf("run %d: warm state differs at %d", run, i)
+				}
+			}
+		} else {
+			// Cold runs consume exactly the draws NewRandomState does.
+			want := qubo.NewRandomState(m, rand.New(rand.NewSource(9)))
+			for i := 0; i < m.NumVariables(); i++ {
+				if st.Get(i) != want.Get(i) {
+					t.Fatalf("run %d: cold state diverged from NewRandomState at %d", run, i)
+				}
+			}
+		}
+	}
+}
+
+// TestInitialStateColdPathUnchanged pins the determinism contract: a request
+// without Warm consumes exactly the same rng stream as the pre-warm-start
+// code, for consecutive runs off one shared rng.
+func TestInitialStateColdPathUnchanged(t *testing.T) {
+	m := model(6)
+	rngA := rand.New(rand.NewSource(42))
+	rngB := rand.New(rand.NewSource(42))
+	req := Request{Model: m}
+	for run := 0; run < 5; run++ {
+		got := InitialState(req, run, 5, rngA)
+		want := qubo.NewRandomState(m, rngB)
+		for i := 0; i < m.NumVariables(); i++ {
+			if got.Get(i) != want.Get(i) {
+				t.Fatalf("run %d: cold stream shifted at variable %d", run, i)
+			}
+		}
+	}
+}
+
+func TestInitialStateWrongLengthFallsBack(t *testing.T) {
+	m := model(4)
+	req := Request{Model: m, Warm: []int8{1, 0}} // wrong length
+	rng := rand.New(rand.NewSource(5))
+	st := InitialState(req, 0, 4, rng)
+	want := qubo.NewRandomState(m, rand.New(rand.NewSource(5)))
+	for i := 0; i < m.NumVariables(); i++ {
+		if st.Get(i) != want.Get(i) {
+			t.Fatal("wrong-length Warm did not fall back to the random state")
+		}
+	}
+}
+
+func TestInitialStateWarmEnergyConsistent(t *testing.T) {
+	m := model(4)
+	warm := []int8{1, 1, 0, 1}
+	st := InitialState(Request{Model: m, Warm: warm}, 0, 2, rand.New(rand.NewSource(1)))
+	if got, want := st.Energy(), m.Energy(warm); got != want {
+		t.Fatalf("warm state energy = %v, want %v", got, want)
+	}
+}

@@ -103,7 +103,7 @@ func (s *Solver) Solve(ctx context.Context, req solver.Request) (*solver.Result,
 	replicas := make([]*qubo.State, s.replicas())
 	rngs := make([]*rand.Rand, len(replicas))
 	for i := range replicas {
-		replicas[i] = qubo.NewRandomState(m, rng)
+		replicas[i] = solver.InitialState(req, i, len(replicas), rng)
 		rngs[i] = rand.New(rand.NewSource(rng.Int63()))
 	}
 	var best qubo.BestTracker
