@@ -130,7 +130,20 @@ func main() {
 	)
 	for epoch := 0; epoch < max(1, *repeat); epoch++ {
 		epochStart := time.Now()
-		sol, cost, stats, err = run(ctx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout, mw, *failFast, ps, cache, *warmDrift)
+		// Root the epoch's span tree so mqotrace can reconstruct it; the
+		// trace id derives from the seed and epoch, never wall clock.
+		epochCtx := ctx
+		var rootSpan *obs.Span
+		if sink.Enabled() {
+			epochCtx, rootSpan = sink.StartTrace(ctx, "solve",
+				obs.NewTraceID(*seed, fmt.Sprintf("%s/%d", *algorithm, epoch)))
+			rootSpan.Attr("algorithm", *algorithm)
+		}
+		sol, cost, stats, err = run(epochCtx, *algorithm, p, *capacity, *runs, *sweeps, *seed, *timeout, mw, *failFast, ps, cache, *warmDrift)
+		if err != nil {
+			rootSpan.Attr("error", err.Error())
+		}
+		rootSpan.End()
 		if err != nil {
 			// SIGINT cancels ctx mid-solve; flush whatever the trace recorded
 			// before reporting the interrupt.

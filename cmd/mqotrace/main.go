@@ -1,0 +1,104 @@
+// Command mqotrace analyses the JSONL span traces the pipeline writes
+// (mqoserve -trace, mqosolve -trace): it reconstructs each request's span
+// tree and prints per-request phase breakdowns, the critical path through
+// the DAG waves, the top-N slowest requests and an aggregate phase×device
+// latency summary.
+//
+// Usage:
+//
+//	mqotrace trace.jsonl
+//	mqoserve -trace - ... 2>/dev/null | mqotrace -top 3 -
+//	mqotrace -req 1a2b3c4d5e6f7081 trace.jsonl
+//
+// With -req the report narrows to one trace (by full or unambiguous prefix
+// of its hex id); otherwise the critical path of the slowest request is
+// shown. Events without span identity (un-traced runs) are ignored, so a
+// mixed trace file still analyses cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"incranneal/internal/tracetool"
+)
+
+func main() {
+	var (
+		top   = flag.Int("top", 5, "show the N slowest requests")
+		req   = flag.String("req", "", "narrow to one trace id (full or unambiguous hex prefix)")
+		check = flag.Bool("check", false, "only verify span-tree well-formedness; exit non-zero on violation")
+	)
+	flag.Parse()
+	if err := run(*top, *req, *check, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "mqotrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(top int, req string, check bool, path string) error {
+	var r io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := tracetool.Parse(r)
+	if err != nil {
+		return err
+	}
+	traces := tracetool.BuildForest(events)
+	if len(traces) == 0 {
+		return fmt.Errorf("no traced requests in input (%d events without span identity)", len(events))
+	}
+	if err := tracetool.WellFormed(traces); err != nil {
+		return fmt.Errorf("span tree not well-formed: %w", err)
+	}
+	if check {
+		fmt.Printf("ok: %d traces, %d events, span trees well-formed\n", len(traces), len(events))
+		return nil
+	}
+	if req != "" {
+		t, err := findTrace(traces, req)
+		if err != nil {
+			return err
+		}
+		traces = []*tracetool.Trace{t}
+	}
+	out := os.Stdout
+	tracetool.RenderSlowest(out, traces, top)
+	fmt.Fprintln(out)
+	// Critical path of the slowest (or the requested) trace.
+	slowest := tracetool.SortBySlowest(traces, 1)
+	tracetool.RenderCriticalPath(out, slowest[0])
+	fmt.Fprintln(out)
+	tracetool.RenderAggregate(out, traces)
+	return nil
+}
+
+// findTrace resolves a full or prefix trace id.
+func findTrace(traces []*tracetool.Trace, id string) (*tracetool.Trace, error) {
+	var matches []*tracetool.Trace
+	for _, t := range traces {
+		if t.ID == id {
+			return t, nil
+		}
+		if strings.HasPrefix(t.ID, id) {
+			matches = append(matches, t)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return nil, fmt.Errorf("no trace with id %s", id)
+	default:
+		return nil, fmt.Errorf("trace id prefix %s is ambiguous (%d matches)", id, len(matches))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"incranneal/internal/da"
 	"incranneal/internal/embed"
 	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
 	"incranneal/internal/solvecache"
 	"incranneal/internal/workload"
 )
@@ -357,7 +358,7 @@ func PhaseReport(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 		ID:      "phases",
 		Title:   fmt.Sprintf("Phase timings of the DA processing strategies, %d PPQ (%s scale)", scale.StandardPPQ, scale.Name),
 		Header:  cfg.headerLines(scale),
-		Columns: []string{"strategy", "queries", "total", "partition", "encode", "anneal", "decode+merge", "dss", "deg", "cost", "cache"},
+		Columns: []string{"strategy", "queries", "total", "partition", "encode", "anneal", "anneal p99", "decode+merge", "dss", "deg", "cost", "cache"},
 	}
 	algos := ProcessingRoster(cfg)
 	for _, q := range scale.QuerySet {
@@ -367,13 +368,14 @@ func PhaseReport(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 		}
 		for _, m := range RunInstance(ctx, algos, p, classSeed("phasesrun", q, 0, 0)) {
 			if m.Err != nil {
-				r.AddRow(m.Algorithm, fmt.Sprintf("%d", q), "err", "—", "—", "—", "—", "—", "—", "—", "—")
+				r.AddRow(m.Algorithm, fmt.Sprintf("%d", q), "err", "—", "—", "—", "—", "—", "—", "—", "—", "—")
 				continue
 			}
 			r.AddRow(m.Algorithm, fmt.Sprintf("%d", q),
 				fmtDur(m.Elapsed),
 				fmtDur(m.Timings.Partition), fmtDur(m.Timings.Encode),
-				fmtDur(m.Timings.Anneal), fmtDur(m.Timings.Decode),
+				fmtDur(m.Timings.Anneal), fmtQuantileMs(m.AnnealP99),
+				fmtDur(m.Timings.Decode),
 				fmtDur(m.Timings.DSS),
 				fmt.Sprintf("%d", m.Degraded),
 				fmt.Sprintf("%.0f", m.Cost), "—")
@@ -391,15 +393,18 @@ func PhaseReport(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 		if _, err := core.SolveIncremental(ctx, p, cachedOpt); err != nil {
 			return nil, err
 		}
+		cachedReg := obs.NewRegistry()
+		cachedCtx := obs.NewContext(ctx, obs.NewSink(nil, cachedReg))
 		start := time.Now()
-		out, err := core.SolveIncremental(ctx, p, cachedOpt)
+		out, err := core.SolveIncremental(cachedCtx, p, cachedOpt)
 		if err != nil {
 			return nil, err
 		}
 		r.AddRow("DA (Incremental, cached)", fmt.Sprintf("%d", q),
 			fmtDur(time.Since(start)),
 			fmtDur(out.Timings.Partition), fmtDur(out.Timings.Encode),
-			fmtDur(out.Timings.Anneal), fmtDur(out.Timings.Decode),
+			fmtDur(out.Timings.Anneal), fmtQuantileMs(cachedReg.Histogram("latency.anneal_ms").Snapshot().P99),
+			fmtDur(out.Timings.Decode),
 			fmtDur(out.Timings.DSS),
 			fmt.Sprintf("%d", len(out.Degradations)),
 			fmt.Sprintf("%.0f", out.Cost), cacheCell(out.Cache))
@@ -412,6 +417,15 @@ func PhaseReport(ctx context.Context, cfg Config, scale Scale) (*Report, error) 
 
 func fmtDur(d time.Duration) string {
 	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// fmtQuantileMs renders a latency quantile in milliseconds; zero (baseline
+// without device calls, or an empty histogram) renders as a dash.
+func fmtQuantileMs(ms float64) string {
+	if ms == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.2fms", ms)
 }
 
 // runtimeInstance builds the Fig. 7 instance: four varying communities

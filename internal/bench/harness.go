@@ -15,6 +15,7 @@ import (
 	"incranneal/internal/da"
 	"incranneal/internal/hqa"
 	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
 	"incranneal/internal/sa"
 	"incranneal/internal/solver"
 )
@@ -372,18 +373,29 @@ type Measurement struct {
 	// Degraded counts greedy-repaired partial problems (device failures
 	// absorbed by graceful degradation).
 	Degraded int
-	Err      error
+	// AnnealP50/AnnealP99 are the per-device-call anneal latency quantiles
+	// in milliseconds, from a metrics-only sink injected around the run
+	// (zero for baselines that never touch a device).
+	AnnealP50 float64
+	AnnealP99 float64
+	Err       error
 }
 
 // RunInstance executes every algorithm on p and fills in normalised costs.
+// Each run observes through a private metrics registry (chained to any sink
+// already on ctx), so per-phase latency quantiles are attributable per
+// measurement without the algorithms sharing histogram state.
 func RunInstance(ctx context.Context, algos []Algorithm, p *mqo.Problem, seed int64) []Measurement {
 	ms := make([]Measurement, len(algos))
 	best := 0.0
 	haveBest := false
 	for i, a := range algos {
+		reg := obs.NewRegistry()
+		runCtx := obs.NewContext(ctx, obs.NewSink(nil, reg).Chain(obs.FromContext(ctx)))
 		start := time.Now()
-		score, err := a.Run(ctx, p, seed+int64(i)*7919)
-		ms[i] = Measurement{Algorithm: a.Name, Instance: p.Name, Cost: score.Cost, Elapsed: time.Since(start), Timings: score.Timings, Degraded: score.Degraded, Err: err}
+		score, err := a.Run(runCtx, p, seed+int64(i)*7919)
+		anneal := reg.Histogram("latency.anneal_ms").Snapshot()
+		ms[i] = Measurement{Algorithm: a.Name, Instance: p.Name, Cost: score.Cost, Elapsed: time.Since(start), Timings: score.Timings, Degraded: score.Degraded, AnnealP50: anneal.P50, AnnealP99: anneal.P99, Err: err}
 		if err == nil && (!haveBest || score.Cost < best) {
 			best = score.Cost
 			haveBest = true

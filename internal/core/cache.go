@@ -27,6 +27,26 @@ type CacheOutcome struct {
 	Drift     float64 `json:"drift"`
 }
 
+// Tier names the solve's cache reuse level for span attribution and log
+// lines: "warm" (warm-started from the cached incumbent), "skeleton-hit"
+// (structure hit with rebound encoding skeletons), "structure-hit"
+// (partitioning reuse only) or "cold" (miss, or no cache configured — the
+// nil receiver is valid).
+func (c *CacheOutcome) Tier() string {
+	switch {
+	case c == nil:
+		return "cold"
+	case c.WarmStart:
+		return "warm"
+	case c.StructureHit && c.SkeletonHits > 0:
+		return "skeleton-hit"
+	case c.StructureHit:
+		return "structure-hit"
+	default:
+		return "cold"
+	}
+}
+
 // cacheRun threads one incremental solve's cache interaction through the
 // phases: the Lookup decision up front, skeleton checkout during
 // preparation, warm assignments during the anneal, and the Commit after

@@ -257,17 +257,31 @@ func solveEncoded(ctx context.Context, dev solver.Solver, enc *encoding.MQOEncod
 		return nil, 0, st, err
 	}
 	sink := obs.FromContext(ctx)
+	// The device solve is the "anneal" span of the request's trace; without
+	// an enclosing span (direct Solve* calls, no trace) the same payload is
+	// emitted as the historical flat event, so traces gain structure without
+	// changing the un-traced event vocabulary.
+	annealCtx, annealSpan := sink.StartSpan(ctx, "anneal")
 	t0 := time.Now()
-	res, err := dev.Solve(ctx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed, Parallelism: parallelism, Warm: warm})
+	res, err := dev.Solve(annealCtx, solver.Request{Model: enc.Model, Runs: runs, Sweeps: sweeps, Seed: seed, Parallelism: parallelism, Warm: warm})
 	st.anneal = time.Since(t0)
 	if err != nil {
+		annealSpan.Attr("error", "device").End()
 		return nil, 0, st, err
 	}
 	if sink.Enabled() {
-		sink.Emit(obs.Event{
+		e := obs.Event{
 			Name: "anneal", Device: dev.Name(), Label: obs.LabelFromContext(ctx),
 			Dur: st.anneal, Sweeps: res.Sweeps, N: enc.Model.NumVariables(),
-		})
+		}
+		if annealSpan != nil {
+			annealSpan.Attr("device", dev.Name()).EndWith(e)
+		} else {
+			sink.Emit(e)
+		}
+		if reg := sink.Metrics(); reg != nil {
+			reg.Histogram("latency.anneal_ms").Observe(st.anneal.Seconds() * 1e3)
+		}
 	}
 	t0 = time.Now()
 	best, bestCost, repaired, err := bestDecoded(enc, res.Samples)
@@ -283,13 +297,14 @@ func solveEncoded(ctx context.Context, dev solver.Solver, enc *encoding.MQOEncod
 		return nil, res.Sweeps, st, fmt.Errorf("core: device %s returned no samples", dev.Name())
 	}
 	if sink.Enabled() {
-		sink.Emit(obs.Event{
+		sink.EmitCtx(ctx, obs.Event{
 			Name: "decode", Device: dev.Name(), Label: obs.LabelFromContext(ctx),
 			Dur: st.decode, N: len(res.Samples), Extra: float64(repaired), Value: bestCost,
 		})
 		if reg := sink.Metrics(); reg != nil {
 			reg.Counter("decode.samples").Add(float64(len(res.Samples)))
 			reg.Counter("decode.repaired").Add(float64(repaired))
+			reg.Histogram("latency.decode_ms").Observe(st.decode.Seconds() * 1e3)
 		}
 	}
 	return best, res.Sweeps, st, nil

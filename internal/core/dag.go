@@ -217,16 +217,22 @@ func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem,
 			}
 		}
 		waveStart := time.Now()
+		// One span per topological wave; sub spans hang off it, indexed by
+		// node so ids never depend on worker interleaving.
+		waveCtx, waveSpan := sink.StartSpanIndexed(ctx, "wave", w)
 		split := splitWorkers(workers, len(wave))
 		fns := make([]func() error, len(wave))
 		for wi, node := range wave {
 			wi, node := wi, node
 			fns[wi] = func() error {
 				sub := subs[node]
-				subCtx := ctx
+				subCtx := waveCtx
 				if sink.Enabled() {
-					subCtx = obs.WithLabel(ctx, subLabel(node))
+					subCtx = obs.WithLabel(waveCtx, subLabel(node))
 				}
+				var subSpan *obs.Span
+				subCtx, subSpan = sink.StartSpanIndexed(subCtx, "sub", node)
+				defer subSpan.End()
 				if encs[node] == nil || dirty[node] {
 					t0 := time.Now()
 					encs[node] = preps[node].Encoding()
@@ -273,7 +279,7 @@ func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem,
 			}
 			merged++
 			if sink.Enabled() {
-				sink.Emit(obs.Event{Name: "merge", Label: subLabel(node), N: merged, Value: ttlSol.Cost(p)})
+				sink.EmitCtx(waveCtx, obs.Event{Name: "merge", Label: subLabel(node), N: merged, Value: ttlSol.Cost(p)})
 			}
 		}
 		tm.Decode += time.Since(mergeStart)
@@ -298,14 +304,14 @@ func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem,
 					}
 					waveApplied += sum
 					if sink.Enabled() {
-						sink.Emit(obs.Event{Name: "join", Label: subLabel(node), Run: pred, N: len(vals), Value: sum})
+						sink.EmitCtx(waveCtx, obs.Event{Name: "join", Label: subLabel(node), Run: pred, N: len(vals), Value: sum})
 					}
 				}
 			}
 			dssDur := time.Since(dssStart)
 			tm.DSS += dssDur
 			if sink.Enabled() {
-				sink.Emit(obs.Event{Name: "dss", Label: waveLabel(w), Dur: dssDur, Value: waveApplied, N: dirtied})
+				sink.EmitCtx(waveCtx, obs.Event{Name: "dss", Label: waveLabel(w), Dur: dssDur, Value: waveApplied, N: dirtied})
 				if reg := sink.Metrics(); reg != nil {
 					reg.Counter("dss.passes").Add(1)
 					reg.Counter("dss.applied").Add(waveApplied)
@@ -313,7 +319,12 @@ func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem,
 			}
 		}
 		if sink.Enabled() {
-			sink.Emit(obs.Event{Name: "wave", Label: waveLabel(w), N: len(wave), Run: workers, Dur: time.Since(waveStart), Value: ttlSol.Cost(p)})
+			e := obs.Event{Name: "wave", Label: waveLabel(w), N: len(wave), Run: workers, Dur: time.Since(waveStart), Value: ttlSol.Cost(p)}
+			if waveSpan != nil {
+				waveSpan.EndWith(e)
+			} else {
+				sink.Emit(e)
+			}
 		}
 	}
 	for _, ns := range encNanos {

@@ -29,20 +29,23 @@ func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, e
 	req := solver.Request{Model: enc.Model, Runs: opt.Runs, Sweeps: opt.TotalSweeps, Seed: opt.Seed, Parallelism: opt.Parallelism}
 	var res *solver.Result
 	capacity := opt.Device.Capacity()
+	annealCtx, annealSpan := obs.FromContext(ctx).StartSpan(ctx, "anneal")
 	annealStart := time.Now()
 	switch {
 	case capacity == 0 || enc.Model.NumVariables() <= capacity:
-		res, err = opt.Device.Solve(ctx, req)
+		res, err = opt.Device.Solve(annealCtx, req)
 	default:
 		ls, ok := opt.Device.(solver.LargeSolver)
 		if !ok {
+			annealSpan.Attr("error", "capacity").End()
 			return nil, fmt.Errorf("core: problem needs %d variables but device %s caps at %d and offers no default partitioning", enc.Model.NumVariables(), opt.Device.Name(), capacity)
 		}
-		res, err = ls.SolveLarge(ctx, req)
+		res, err = ls.SolveLarge(annealCtx, req)
 	}
 	tm.Anneal = time.Since(annealStart)
 	var degs []Degradation
 	if err != nil {
+		annealSpan.Attr("error", "device").End()
 		if opt.FailFast {
 			return nil, err
 		}
@@ -61,10 +64,19 @@ func SolveDefault(ctx context.Context, p *mqo.Problem, opt Options) (*Outcome, e
 	}
 	sink := obs.FromContext(ctx)
 	if sink.Enabled() {
-		sink.Emit(obs.Event{
+		e := obs.Event{
 			Name: "anneal", Device: opt.Device.Name(),
 			Dur: tm.Anneal, Sweeps: res.Sweeps, N: enc.Model.NumVariables(),
-		})
+		}
+		if annealSpan != nil {
+			annealSpan.Attr("device", opt.Device.Name()).EndWith(e)
+		} else {
+			sink.Emit(e)
+		}
+		if reg := sink.Metrics(); reg != nil {
+			reg.Histogram("latency.anneal_ms").Observe(tm.Anneal.Seconds() * 1e3)
+			reg.Histogram("latency.encode_ms").Observe(tm.Encode.Seconds() * 1e3)
+		}
 	}
 	decStart := time.Now()
 	bestSol, bestCost, repaired, err := bestDecoded(enc, res.Samples)

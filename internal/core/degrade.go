@@ -58,7 +58,11 @@ func degrade(ctx context.Context, local *mqo.Problem, i int, device string, caus
 	sol := mqo.Repair(local, make([]bool, local.NumPlans()))
 	d := Degradation{Sub: i, Device: device, Attempts: attemptsOf(cause), Reason: cause.Error()}
 	if sink := obs.FromContext(ctx); sink.Enabled() {
-		sink.Emit(obs.Event{
+		// The enclosing sub (or session) span carries the degradation reason
+		// as an attribute, so a trace query for degraded requests needs no
+		// event-level join.
+		obs.SpanFromContext(ctx).Attr("degrade.reason", d.Reason)
+		sink.EmitCtx(ctx, obs.Event{
 			Name: "degrade", Device: device, Label: obs.LabelFromContext(ctx),
 			Run: d.Attempts, N: local.NumQueries(),
 		})

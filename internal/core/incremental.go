@@ -40,6 +40,11 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 		return solveWhole(ctx, p, opt, "incremental", start)
 	}
 	cr := newCacheRun(p, opt)
+	sink := obs.FromContext(ctx)
+	// The partitioning phase is the first child span of a traced request; on
+	// un-traced runs StartSpan is a no-op and the partition package's own
+	// events remain the only record, as before.
+	partCtx, partSpan := sink.StartSpan(ctx, "partition")
 	partStart := time.Now()
 	var part *partition.Result
 	var err error
@@ -48,7 +53,7 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 		// re-bisecting. Refit validates coverage and only re-bisects sets
 		// the capacity no longer admits, so a plain recurrence skips the
 		// annealer-backed recursion entirely.
-		part, err = partition.Refit(ctx, p, cr.hit.QuerySets, opt.partitionOptions())
+		part, err = partition.Refit(partCtx, p, cr.hit.QuerySets, opt.partitionOptions())
 		if err != nil {
 			// A cached partitioning that fails to refit (fingerprint
 			// collision, corrupt entry) never fails the solve: drop it and
@@ -59,12 +64,23 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 		}
 	}
 	if part == nil {
-		part, err = opt.partitionProblem(ctx, p)
+		part, err = opt.partitionProblem(partCtx, p)
 		if err != nil {
+			partSpan.Attr("error", "partition").End()
 			return nil, err
 		}
 	}
 	partElapsed := time.Since(partStart)
+	if partSpan != nil {
+		source := "fresh"
+		if cr != nil && cr.hit != nil {
+			source = "refit"
+		}
+		partSpan.Attr("source", source).EndWith(obs.Event{N: len(part.SubProblems)})
+	}
+	if reg := sink.Metrics(); reg != nil {
+		reg.Histogram("latency.partition_ms").Observe(partElapsed.Seconds() * 1e3)
+	}
 	if cr != nil {
 		cr.querySets = part.QuerySets
 	}
@@ -139,7 +155,10 @@ func incrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	tm.Encode += time.Since(encStart)
 	sink := obs.FromContext(ctx)
 	if sink.Enabled() {
-		sink.Emit(obs.Event{Name: "encode", Dur: tm.Encode, N: len(subs)})
+		sink.EmitCtx(ctx, obs.Event{Name: "encode", Dur: tm.Encode, N: len(subs)})
+		if reg := sink.Metrics(); reg != nil {
+			reg.Histogram("latency.encode_ms").Observe(tm.Encode.Seconds() * 1e3)
+		}
 	}
 	// Choose the execution order: the DAG schedule whenever it is enabled
 	// and the dependency graph is sparse enough to expose concurrency.
@@ -156,7 +175,7 @@ func incrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 			if !useDAG {
 				label = "fallback"
 			}
-			sink.Emit(obs.Event{
+			sink.EmitCtx(ctx, obs.Event{
 				Name: "dag", Label: label, Dur: time.Since(dagStart),
 				N: dag.edges, Run: len(dag.waves), Value: dag.density, Extra: float64(dag.width),
 			})
@@ -232,6 +251,10 @@ func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubP
 		if sink.Enabled() {
 			subCtx = obs.WithLabel(ctx, subLabel(i))
 		}
+		// Each partial problem is a "sub" span under the session (or wave)
+		// span; the index keeps the id deterministic.
+		var subSpan *obs.Span
+		subCtx, subSpan = sink.StartSpanIndexed(subCtx, "sub", i)
 		// Materialise the next encoding while the device works on this one.
 		// Its costs are only touched by the dss call below, after the join.
 		var specWG sync.WaitGroup
@@ -281,7 +304,9 @@ func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubP
 			// Incumbent global cost after each merge: Cost skips unassigned
 			// queries, so the trajectory of these events is the incremental
 			// strategy's convergence at partial-problem granularity.
-			sink.Emit(obs.Event{Name: "merge", Label: subLabel(i), N: i + 1, Value: ttlSol.Cost(p)})
+			cost := ttlSol.Cost(p)
+			sink.EmitCtx(subCtx, obs.Event{Name: "merge", Label: subLabel(i), N: i + 1, Value: cost})
+			subSpan.EndWith(obs.Event{Value: cost})
 		}
 		if i+1 < len(subs) {
 			enc = specEnc
@@ -298,7 +323,7 @@ func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubP
 							dirtied++
 						}
 					}
-					sink.Emit(obs.Event{Name: "dss", Label: subLabel(i), Dur: dssDur, Value: applied, N: dirtied})
+					sink.EmitCtx(ctx, obs.Event{Name: "dss", Label: subLabel(i), Dur: dssDur, Value: applied, N: dirtied})
 					if reg := sink.Metrics(); reg != nil {
 						reg.Counter("dss.passes").Add(1)
 						reg.Counter("dss.applied").Add(applied)
@@ -314,7 +339,7 @@ func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubP
 				patch := time.Since(t0)
 				tm.Encode += patch
 				if sink.Enabled() {
-					sink.Emit(obs.Event{Name: "encode", Label: subLabel(i + 1), Dur: patch, N: 1})
+					sink.EmitCtx(ctx, obs.Event{Name: "encode", Label: subLabel(i + 1), Dur: patch, N: 1})
 				}
 				dirty[i+1] = false
 			}

@@ -141,8 +141,26 @@ func (s *Session) Start(ctx context.Context) error {
 			Elapsed: time.Since(s.start),
 		})
 	})
-	cb.Chain(obs.FromContext(ctx))
+	outer := obs.FromContext(ctx)
+	cb.Chain(outer)
 	runCtx := obs.NewContext(ctx, cb)
+
+	// Root the request's span tree. When the caller (serve's worker slot)
+	// already opened a span, the session continues that trace; an observed
+	// stand-alone session roots its own, with the trace id derived from the
+	// solve seed and strategy so re-running a request reproduces identical
+	// span identity. Unobserved sessions stay span-free.
+	strategy := s.Strategy
+	if strategy == "" {
+		strategy = StrategyIncremental
+	}
+	var span *obs.Span
+	if obs.SpanFromContext(ctx) != nil {
+		runCtx, span = cb.StartSpan(runCtx, "session")
+	} else if outer.Enabled() {
+		runCtx, span = cb.StartTrace(runCtx, "session", obs.NewTraceID(s.opt.Seed, strategy))
+	}
+	span.Attr("strategy", strategy)
 
 	go func() {
 		out, err := solve(runCtx, s.p, s.opt)
@@ -155,6 +173,23 @@ func (s *Session) Start(ctx context.Context) error {
 				Elapsed: time.Since(s.start),
 				Final:   true,
 			})
+		}
+		if span != nil {
+			if err != nil {
+				span.Attr("error", err.Error()).End()
+			} else {
+				// Cache-tier attribution and degradation count ride the
+				// session span, so one trace line answers "why was this
+				// request fast/slow/degraded".
+				span.Attr("cache.tier", out.Cache.Tier())
+				if n := len(out.Degradations); n > 0 {
+					span.Attr("degraded", strconv.Itoa(n))
+				}
+				span.EndWith(obs.Event{N: out.NumPartitions, Value: out.Cost})
+			}
+		}
+		if reg := outer.Metrics(); reg != nil {
+			reg.Histogram("latency.solve_ms").Observe(time.Since(s.start).Seconds() * 1e3)
 		}
 		close(s.incumbents)
 		close(s.done)

@@ -55,6 +55,30 @@ func appendEventJSON(dst []byte, e *Event) []byte {
 		dst = append(dst, `,"extra":`...)
 		dst = appendFloat(dst, e.Extra)
 	}
+	if e.Trace != 0 {
+		dst = append(dst, `,"trace":`...)
+		dst = appendHexID(dst, e.Trace)
+	}
+	if e.Span != 0 {
+		dst = append(dst, `,"span":`...)
+		dst = appendHexID(dst, e.Span)
+	}
+	if e.Parent != 0 {
+		dst = append(dst, `,"parent":`...)
+		dst = appendHexID(dst, e.Parent)
+	}
+	if len(e.Attrs) > 0 {
+		dst = append(dst, `,"attrs":{`...)
+		for i, a := range e.Attrs {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendQuote(dst, a.Key)
+			dst = append(dst, ':')
+			dst = strconv.AppendQuote(dst, a.Value)
+		}
+		dst = append(dst, '}')
+	}
 	if len(e.Points) > 0 {
 		dst = append(dst, `,"points":[`...)
 		for i, p := range e.Points {
@@ -82,4 +106,15 @@ func appendSeconds(dst []byte, d time.Duration) []byte {
 // appendFloat encodes a float compactly ('g', shortest round-trip).
 func appendFloat(dst []byte, v float64) []byte {
 	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// appendHexID encodes a span/trace id as a fixed-width quoted hex string —
+// the OpenTelemetry-style rendering, immune to JSON number precision loss.
+func appendHexID(dst []byte, id uint64) []byte {
+	const hexDigits = "0123456789abcdef"
+	dst = append(dst, '"')
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[id>>uint(shift)&0xf])
+	}
+	return append(dst, '"')
 }

@@ -73,6 +73,15 @@ type Event struct {
 	Extra float64
 	// Points is the convergence trajectory of "run" events.
 	Points []ConvPoint
+	// Trace, Span and Parent link the event into a request's span tree
+	// (see span.go): span events carry all three, point events emitted
+	// under a span carry Trace and Parent. Zero means un-traced; ids are
+	// deterministic functions of the request seed, never wall-clock
+	// randomness.
+	Trace, Span, Parent uint64
+	// Attrs are flat key/value span attributes (cache tier, degradation
+	// reason, device routing); nil for point events.
+	Attrs []Attr
 }
 
 // Sink receives trace events and routes them to a JSONL writer, an
@@ -134,13 +143,16 @@ func NewCallbackSink(fn func(Event)) *Sink {
 
 // Chain forwards every event emitted on s to next as well. It returns s for
 // convenience. Chaining a nil next is a no-op; chaining on a nil s returns
-// nil.
+// nil. The chained sink adopts next's clock, so time offsets stamped
+// through s (span starts, event times) align with events next records
+// directly — one consistent timeline per trace file.
 func (s *Sink) Chain(next *Sink) *Sink {
 	if s == nil || next == nil {
 		return s
 	}
 	s.mu.Lock()
 	s.forward = next
+	s.start = next.start
 	s.mu.Unlock()
 	return s
 }
@@ -149,12 +161,25 @@ func (s *Sink) Chain(next *Sink) *Sink {
 // building event payloads (labels, per-run recorders) on the disabled path.
 func (s *Sink) Enabled() bool { return s != nil }
 
+// since converts an absolute time into the sink's relative clock (the
+// stamp spans record as their start offset).
+func (s *Sink) since(t time.Time) time.Duration { return t.Sub(s.start) }
+
 // Metrics returns the sink's registry, or nil when disabled or trace-only.
+// A sink without its own registry (callback sinks chained in front of the
+// configured sink) answers with its forward target's registry, so metrics
+// recorded through a chain land where the operator configured them.
 func (s *Sink) Metrics() *Registry {
 	if s == nil {
 		return nil
 	}
-	return s.reg
+	s.mu.Lock()
+	reg, fwd := s.reg, s.forward
+	s.mu.Unlock()
+	if reg == nil {
+		return fwd.Metrics()
+	}
+	return reg
 }
 
 // Emit records one event, stamping its relative time when unset.

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus/OpenMetrics text exposition of a Registry — the payload of
+// mqoserve's /metricsz endpoint. Naming is stable and derived mechanically
+// from registry names:
+//
+//   - every metric is prefixed "mqo_" and dots/dashes become underscores:
+//     serve.request.latency_ms → mqo_serve_request_latency_ms
+//   - a trailing ".<device>" segment (da, da-pt, sa, hqa, va) becomes a
+//     device label instead of a name suffix, so per-device series of one
+//     family aggregate naturally: anneal.sweeps.da →
+//     mqo_anneal_sweeps_total{device="da"}
+//   - counters get the conventional _total suffix; gauges export as-is;
+//     histograms export cumulative _bucket{le="..."} series (non-empty
+//     buckets only, plus +Inf) with _sum and _count.
+//
+// Output is deterministic: families and series sort alphabetically.
+
+// promDevices are the device names recognised as a trailing label segment.
+var promDevices = map[string]bool{
+	"da": true, "da-pt": true, "sa": true, "hqa": true, "va": true,
+}
+
+// promName sanitises a registry name into a Prometheus metric name and
+// splits off a trailing device segment as a label, if present.
+func promName(name string) (metric, device string) {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 && promDevices[name[i+1:]] {
+		device = name[i+1:]
+		name = name[:i]
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("mqo_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String(), device
+}
+
+// promLabels renders a label set ({device="da"} or ""), with an optional
+// le pair appended for histogram buckets.
+func promLabels(device, le string) string {
+	var parts []string
+	if device != "" {
+		parts = append(parts, `device="`+device+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promValue formats a sample value ('g', shortest round-trip).
+func promValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promSeries is one exportable series of a family.
+type promSeries struct {
+	device string
+	value  float64
+	hist   *Histogram
+}
+
+// promFamily groups same-named series under one TYPE header.
+type promFamily struct {
+	name   string // exposition name, without the counter _total suffix
+	kind   string // counter, gauge, histogram
+	series []promSeries
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4, also parseable as OpenMetrics minus the EOF
+// marker). Nil-safe: a nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := map[string]*promFamily{}
+	add := func(name, kind string, s promSeries) {
+		metric, device := promName(name)
+		key := kind + " " + metric
+		f, ok := fams[key]
+		if !ok {
+			f = &promFamily{name: metric, kind: kind}
+			fams[key] = f
+		}
+		s.device = device
+		f.series = append(f.series, s)
+	}
+	for name, c := range r.counters {
+		add(name, "counter", promSeries{value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		add(name, "gauge", promSeries{value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		add(name, "histogram", promSeries{hist: h})
+	}
+	r.mu.Unlock()
+
+	keys := make([]string, 0, len(fams))
+	for k := range fams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fams[keys[i]].name < fams[keys[j]].name || (fams[keys[i]].name == fams[keys[j]].name && keys[i] < keys[j])
+	})
+	bw := bufio.NewWriter(w)
+	for _, k := range keys {
+		f := fams[k]
+		name := f.name
+		if f.kind == "counter" {
+			name += "_total"
+		}
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].device < f.series[j].device })
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.kind)
+		for _, s := range f.series {
+			if f.kind != "histogram" {
+				fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(s.device, ""), promValue(s.value))
+				continue
+			}
+			snap := s.hist.Snapshot()
+			for _, b := range s.hist.CumulativeBuckets() {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name, promLabels(s.device, promValue(b.Upper)), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", name, promLabels(s.device, "+Inf"), snap.Count)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", name, promLabels(s.device, ""), promValue(snap.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, promLabels(s.device, ""), snap.Count)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates Prometheus text-exposition syntax — the small
+// in-repo linter CI runs against a live /metricsz scrape, so a rendering
+// regression fails fast instead of surfacing as a scrape error in
+// production monitoring. It checks line syntax (TYPE/HELP comments,
+// sample lines with optional labels and a parseable value), that no
+// metric declares two TYPEs, and histogram invariants: every _bucket
+// carries an le label, bucket counts are cumulative (non-decreasing in
+// ascending le order per series), a +Inf bucket exists and equals _count.
+func LintPrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	types := map[string]string{}
+	// histogram bucket state per series key (name + non-le labels)
+	type bucketState struct {
+		lastLe    float64
+		lastCount float64
+		infCount  float64
+		hasInf    bool
+	}
+	buckets := map[string]*bucketState{}
+	counts := map[string]float64{}
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP" && fields[1] != "EOF") {
+				return fmt.Errorf("line %d: unknown comment form %q (want # TYPE, # HELP or # EOF)", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !metricNameRE.MatchString(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: invalid metric type %q", lineNo, kind)
+				}
+				if prev, ok := types[name]; ok && prev != kind {
+					return fmt.Errorf("line %d: metric %s declared both %s and %s", lineNo, name, prev, kind)
+				}
+				types[name] = kind
+			}
+			continue
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: unparseable sample line %q", lineNo, line)
+		}
+		name, labels, valueStr := m[1], m[2], m[3]
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil && valueStr != "+Inf" && valueStr != "-Inf" && valueStr != "NaN" {
+			return fmt.Errorf("line %d: unparseable value %q", lineNo, valueStr)
+		}
+		le, rest, err := splitLe(labels)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket %s has no le label", lineNo, name)
+			}
+			key := name + "|" + rest
+			st, ok := buckets[key]
+			if !ok {
+				st = &bucketState{lastLe: math.Inf(-1)}
+				buckets[key] = st
+			}
+			if le == "+Inf" {
+				st.hasInf = true
+				st.infCount = value
+				break
+			}
+			leV, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: unparseable le %q", lineNo, le)
+			}
+			if leV < st.lastLe {
+				return fmt.Errorf("line %d: bucket le %g out of order (previous %g)", lineNo, leV, st.lastLe)
+			}
+			if value < st.lastCount {
+				return fmt.Errorf("line %d: bucket count %g not cumulative (previous %g)", lineNo, value, st.lastCount)
+			}
+			st.lastLe, st.lastCount = leV, value
+		case strings.HasSuffix(name, "_count"):
+			counts[strings.TrimSuffix(name, "_count")+"|"+rest] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for key, st := range buckets {
+		name := strings.TrimSuffix(strings.SplitN(key, "|", 2)[0], "_bucket")
+		rest := strings.SplitN(key, "|", 2)[1]
+		if !st.hasInf {
+			return fmt.Errorf("histogram %s{%s}: no +Inf bucket", name, rest)
+		}
+		if st.lastCount > st.infCount {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %g below last bucket %g", name, rest, st.infCount, st.lastCount)
+		}
+		if c, ok := counts[name+"|"+rest]; ok && c != st.infCount {
+			return fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g", name, rest, c, st.infCount)
+		}
+	}
+	return nil
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(\S+)(?:\s+\d+)?$`)
+	labelRE      = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// splitLe validates a label body ("a=\"x\",le=\"5\"") and splits off the
+// le value, returning the remaining labels as a normalised key.
+func splitLe(labels string) (le, rest string, err error) {
+	if labels == "" {
+		return "", "", nil
+	}
+	var others []string
+	for _, part := range strings.Split(labels, ",") {
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return "", "", fmt.Errorf("malformed label %q", part)
+		}
+		k, v := part[:eq], part[eq+1:]
+		if !labelRE.MatchString(k) {
+			return "", "", fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "", "", fmt.Errorf("label %s value %q not quoted", k, v)
+		}
+		if k == "le" {
+			le = v[1 : len(v)-1]
+			continue
+		}
+		others = append(others, part)
+	}
+	return le, strings.Join(others, ","), nil
+}

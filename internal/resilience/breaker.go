@@ -99,7 +99,7 @@ func (b *Breaker) solve(ctx context.Context, req solver.Request, inner func(cont
 		b.rejected = 0
 		b.trips++
 		if sink := obs.FromContext(ctx); sink.Enabled() {
-			sink.Emit(obs.Event{Name: "trip", Device: b.Inner.Name(), Label: obs.LabelFromContext(ctx), N: b.failures})
+			sink.EmitCtx(ctx, obs.Event{Name: "trip", Device: b.Inner.Name(), Label: obs.LabelFromContext(ctx), N: b.failures})
 			if reg := sink.Metrics(); reg != nil {
 				reg.Counter("resilience.trips").Add(1)
 			}

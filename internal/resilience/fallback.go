@@ -89,7 +89,7 @@ func (f *Fallback) solve(ctx context.Context, req solver.Request, call func(solv
 	for i, dev := range f.Devices {
 		if i > 0 {
 			if sink := obs.FromContext(ctx); sink.Enabled() {
-				sink.Emit(obs.Event{Name: "fallback", Device: dev.Name(), Label: obs.LabelFromContext(ctx), Run: i})
+				sink.EmitCtx(ctx, obs.Event{Name: "fallback", Device: dev.Name(), Label: obs.LabelFromContext(ctx), Run: i})
 				if reg := sink.Metrics(); reg != nil {
 					reg.Counter("resilience.fallbacks").Add(1)
 				}

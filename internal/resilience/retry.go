@@ -72,7 +72,7 @@ func (r *Retry) solve(ctx context.Context, req solver.Request, inner func(contex
 			return nil, withAttempts(err, attempt)
 		}
 		if sink := obs.FromContext(ctx); sink.Enabled() {
-			sink.Emit(obs.Event{Name: "retry", Device: r.Inner.Name(), Label: obs.LabelFromContext(ctx), Run: attempt})
+			sink.EmitCtx(ctx, obs.Event{Name: "retry", Device: r.Inner.Name(), Label: obs.LabelFromContext(ctx), Run: attempt})
 			if reg := sink.Metrics(); reg != nil {
 				reg.Counter("resilience.retries").Add(1)
 			}

@@ -11,6 +11,7 @@ import (
 
 	"incranneal/internal/core"
 	"incranneal/internal/mqo"
+	"incranneal/internal/obs"
 )
 
 // SolveRequest is the body of POST /v1/solve.
@@ -115,6 +116,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	return mux
 }
 
@@ -141,6 +143,21 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, reg.Snapshot())
+}
+
+// handleMetricsz serves the registry in the Prometheus text exposition
+// format (see obs.WritePrometheus for the naming scheme and
+// docs/mqoserve.md for the metric reference). The daemon always runs with
+// a metrics sink, so scrapers only see 503 on a deliberately sink-free
+// embedded server.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	if reg == nil {
+		http.Error(w, "metrics disabled (start the server with a metrics sink)", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w) //nolint:errcheck // best-effort, like every exporter
 }
 
 // handleSolve is the admission path: parse → deadline context → bounded
@@ -227,10 +244,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		sess:     make(chan *core.Session, 1),
 		result:   make(chan jobResult, 1),
 	}
+	if sink := s.cfg.Sink; sink.Enabled() {
+		// Root of the request's span tree. The trace id derives from the
+		// request seed and id — deterministic, never wall-clock randomness —
+		// so a replayed request reproduces identical span identity. The
+		// queue span opens before admission and is closed by the worker at
+		// pickup (or below, on rejection).
+		var spanCtx context.Context
+		spanCtx, j.span = sink.StartTrace(ctx, "request", obs.NewTraceID(req.Options.Seed, j.id))
+		j.span.Attr("id", j.id).Attr("device", device).Attr("strategy", strategy)
+		// The queue span is a leaf: solve work parents on the request
+		// span, so queue and worker render as siblings.
+		_, j.queueSpan = sink.StartSpan(spanCtx, "queue")
+		j.ctx = spanCtx
+	}
 
 	queued := s.queueDepth()
 	ok, reason := s.admit(j)
 	if !ok {
+		j.queueSpan.Attr("rejected", reason).End()
+		j.span.Attr("rejected", reason).End()
 		retry := s.cfg.retryAfter()
 		switch reason {
 		case "draining":
@@ -331,14 +364,20 @@ func (s *Server) response(j *job, out *core.Outcome, device, strategy string, qu
 	}
 }
 
-// finishMetrics records the request's terminal metrics.
+// finishMetrics records the request's terminal metrics and closes its root
+// span. Sub-millisecond latencies keep their fraction so the quantile
+// histogram's low buckets stay meaningful.
 func (s *Server) finishMetrics(j *job, res jobResult) {
+	if res.err != nil {
+		j.span.Attr("error", res.err.Error())
+	}
+	j.span.End()
 	reg := s.registry()
 	if reg == nil {
 		return
 	}
 	latency := time.Since(j.admitted)
-	reg.Histogram("serve.request.latency_ms").Observe(float64(latency.Milliseconds()))
+	reg.Histogram("serve.request.latency_ms").Observe(latency.Seconds() * 1e3)
 	if res.err != nil {
 		reg.Counter("serve.requests.failed").Add(1)
 	} else {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -165,9 +166,14 @@ type job struct {
 	opt      core.Options // Device left nil; the worker fills it in
 	strategy string
 	device   string
-	// ctx carries the request deadline and the client-disconnect signal.
+	// ctx carries the request deadline, the client-disconnect signal and —
+	// when the server observes — the request's root span.
 	ctx      context.Context
 	admitted time.Time
+	// span is the request's root span; queueSpan covers admission to worker
+	// pickup. Both nil when the server runs without a sink.
+	span      *obs.Span
+	queueSpan *obs.Span
 	// sess hands the running Session to the handler (capacity 1; closed
 	// without a send when the job dies before starting, e.g. its deadline
 	// expired while queued).
@@ -301,12 +307,18 @@ func (s *Server) worker(slot int) {
 	reg := s.registry()
 	for j := range s.queue {
 		reg.Gauge("serve.queue.depth").Set(float64(len(s.queue)))
+		// Worker pickup closes the request's queue-wait span and feeds the
+		// queue-wait quantile histogram regardless of how the job proceeds.
+		wait := time.Since(j.admitted)
+		j.queueSpan.End()
+		reg.Histogram("serve.queue.wait_ms").Observe(wait.Seconds() * 1e3)
 		if err := j.ctx.Err(); err != nil {
 			// The client's deadline expired (or it disconnected) while the
 			// job sat in the queue: answer without solving.
 			reg.Counter("serve.admission.expired_in_queue").Add(1)
+			j.span.Attr("expired", "queue")
 			close(j.sess)
-			j.result <- jobResult{err: fmt.Errorf("serve: request expired in queue after %v: %w", time.Since(j.admitted).Round(time.Millisecond), err)}
+			j.result <- jobResult{err: fmt.Errorf("serve: request expired in queue after %v: %w", wait.Round(time.Millisecond), err)}
 			continue
 		}
 		stack, ok := stacks[j.device]
@@ -329,16 +341,29 @@ func (s *Server) worker(slot int) {
 		sess := core.NewSession(j.problem, opt)
 		sess.Strategy = j.strategy
 		ctx := j.ctx
+		var wspan *obs.Span
 		if s.cfg.Sink.Enabled() {
 			ctx = obs.NewContext(ctx, s.cfg.Sink)
+			// The worker-slot span covers device-stack residency: the session
+			// span (and the whole pipeline tree) hangs off it. Slot
+			// attribution answers "which fleet slot's breaker/retry state
+			// served this request".
+			ctx, wspan = s.cfg.Sink.StartSpan(ctx, "worker")
+			wspan.Attr("slot", strconv.Itoa(slot)).Attr("device", j.device)
 		}
 		if err := sess.Start(ctx); err != nil {
+			wspan.Attr("error", err.Error()).End()
 			close(j.sess)
 			j.result <- jobResult{err: err}
 			continue
 		}
 		j.sess <- sess
 		out, err := sess.Wait()
+		if err == nil {
+			wspan.Attr("cache.tier", out.Cache.Tier())
+			reg.Histogram("serve.solve.latency_ms").Observe(out.Elapsed.Seconds() * 1e3)
+		}
+		wspan.End()
 		j.result <- jobResult{out: out, err: err}
 	}
 }

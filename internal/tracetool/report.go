@@ -1,0 +1,97 @@
+package tracetool
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Reports rendered by cmd/mqotrace. All output is deterministic for a
+// given trace file: ties break on trace id, never map order.
+
+// ms renders a duration as fractional milliseconds.
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond)) }
+
+// SortBySlowest orders traces by total duration descending (trace id
+// ascending on ties) and returns the top n (all when n <= 0).
+func SortBySlowest(traces []*Trace, n int) []*Trace {
+	out := append([]*Trace(nil), traces...)
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := out[i].TotalDuration(), out[j].TotalDuration()
+		if di != dj {
+			return di > dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// RenderSlowest writes the top-N slowest requests with their per-phase
+// breakdown: one block per request, phases sorted by time descending.
+func RenderSlowest(w io.Writer, traces []*Trace, n int) {
+	top := SortBySlowest(traces, n)
+	fmt.Fprintf(w, "slowest requests (%d of %d traces)\n", len(top), len(traces))
+	for rank, t := range top {
+		name, label := "?", ""
+		if len(t.Roots) > 0 {
+			name = t.Roots[0].Name
+			label = t.Roots[0].Attrs["id"]
+		}
+		fmt.Fprintf(w, "%2d. trace %s  %s %s  total %s ms\n", rank+1, t.ID, name, label, ms(t.TotalDuration()))
+		type phase struct {
+			name string
+			dur  time.Duration
+		}
+		var phases []phase
+		for pn, d := range PhaseBreakdown(t) {
+			phases = append(phases, phase{pn, d})
+		}
+		sort.Slice(phases, func(i, j int) bool {
+			if phases[i].dur != phases[j].dur {
+				return phases[i].dur > phases[j].dur
+			}
+			return phases[i].name < phases[j].name
+		})
+		for _, p := range phases {
+			fmt.Fprintf(w, "      %-12s %10s ms\n", p.name, ms(p.dur))
+		}
+	}
+}
+
+// RenderCriticalPath writes the span chain that bounded the request's
+// wall-clock, one line per level with start offset and duration.
+func RenderCriticalPath(w io.Writer, t *Trace) {
+	fmt.Fprintf(w, "critical path (trace %s):\n", t.ID)
+	for _, root := range t.Roots {
+		for depth, n := range CriticalPath(root) {
+			label := n.Label
+			if label == "" {
+				label = n.Attrs["id"]
+			}
+			dev := n.Device
+			if dev == "" {
+				dev = n.Attrs["device"]
+			}
+			fmt.Fprintf(w, "  %*s%-10s %-8s %-6s start %8s ms  dur %8s ms\n",
+				depth*2, "", n.Name, label, dev, ms(n.Start()), ms(n.Duration()))
+		}
+	}
+}
+
+// RenderAggregate writes the phase×device latency summary over all traces.
+func RenderAggregate(w io.Writer, traces []*Trace) {
+	agg := AggregatePhaseDevice(traces)
+	fmt.Fprintf(w, "phase x device summary (%d traces)\n", len(traces))
+	fmt.Fprintf(w, "  %-12s %-8s %8s %12s %12s\n", "phase", "device", "count", "total ms", "mean ms")
+	for _, c := range agg {
+		mean := time.Duration(0)
+		if c.Count > 0 {
+			mean = c.Total / time.Duration(c.Count)
+		}
+		fmt.Fprintf(w, "  %-12s %-8s %8d %12s %12s\n", c.Phase, c.Device, c.Count, ms(c.Total), ms(mean))
+	}
+}

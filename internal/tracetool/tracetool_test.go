@@ -1,0 +1,142 @@
+package tracetool
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A hand-built two-request trace: request r1 (root → queue + worker →
+// session → wave → sub → anneal, with a merge point event), request r2
+// (smaller). Offsets in seconds; children end before parents, as emitted.
+const sampleTrace = `
+{"t":0.010,"ev":"queue","dur":0.005,"trace":"00000000000000a1","span":"0000000000000b02","parent":"0000000000000b01"}
+{"t":0.020,"ev":"anneal","dev":"da","label":"sub01","dur":0.050,"trace":"00000000000000a1","span":"0000000000000b06","parent":"0000000000000b05"}
+{"t":0.018,"ev":"sub","label":"sub01","dur":0.055,"trace":"00000000000000a1","span":"0000000000000b05","parent":"0000000000000b04"}
+{"t":0.070,"ev":"merge","label":"sub01","n":1,"value":42.5,"trace":"00000000000000a1","parent":"0000000000000b04"}
+{"t":0.016,"ev":"wave","label":"wave00","dur":0.060,"trace":"00000000000000a1","span":"0000000000000b04","parent":"0000000000000b03"}
+{"t":0.015,"ev":"session","dur":0.070,"attrs":{"cache.tier":"cold"},"trace":"00000000000000a1","span":"0000000000000b03","parent":"0000000000000b07"}
+{"t":0.015,"ev":"worker","dur":0.071,"attrs":{"slot":"0"},"trace":"00000000000000a1","span":"0000000000000b07","parent":"0000000000000b01"}
+{"t":0.010,"ev":"request","dur":0.080,"attrs":{"id":"r000001"},"trace":"00000000000000a1","span":"0000000000000b01"}
+{"t":0.100,"ev":"session","dur":0.020,"trace":"00000000000000a2","span":"0000000000000c01"}
+{"t":0.101,"ev":"anneal","dev":"sa","dur":0.015,"trace":"00000000000000a2","span":"0000000000000c02","parent":"0000000000000c01"}
+`
+
+func parseSample(t *testing.T) []*Trace {
+	t.Helper()
+	events, err := Parse(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("parsed %d events, want 10", len(events))
+	}
+	return BuildForest(events)
+}
+
+func TestBuildForestAndWellFormed(t *testing.T) {
+	traces := parseSample(t)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	if err := WellFormed(traces); err != nil {
+		t.Fatalf("well-formed trace rejected: %v", err)
+	}
+	r1 := traces[0]
+	if r1.ID != "00000000000000a1" || len(r1.Roots) != 1 {
+		t.Fatalf("r1 = %s roots %d", r1.ID, len(r1.Roots))
+	}
+	root := r1.Roots[0]
+	if root.Name != "request" || len(root.Children) != 2 {
+		t.Fatalf("root %s has %d children, want queue+worker", root.Name, len(root.Children))
+	}
+	// Children sorted by start: queue (0.010) before worker (0.015).
+	if root.Children[0].Name != "queue" || root.Children[1].Name != "worker" {
+		t.Fatalf("child order: %s, %s", root.Children[0].Name, root.Children[1].Name)
+	}
+	// The merge point event landed on the wave span.
+	wave := r1.Spans["0000000000000b04"]
+	if len(wave.Points) != 1 || wave.Points[0].Name != "merge" {
+		t.Fatalf("wave points = %+v", wave.Points)
+	}
+	if d := r1.TotalDuration(); d != 80*time.Millisecond {
+		t.Fatalf("r1 total = %v", d)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	traces := parseSample(t)
+	path := CriticalPath(traces[0].Roots[0])
+	var names []string
+	for _, n := range path {
+		names = append(names, n.Name)
+	}
+	want := "request worker session wave sub anneal"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("critical path = %q, want %q", got, want)
+	}
+}
+
+func TestPhaseBreakdownAndAggregate(t *testing.T) {
+	traces := parseSample(t)
+	bd := PhaseBreakdown(traces[0])
+	if bd["anneal"] != 50*time.Millisecond || bd["queue"] != 5*time.Millisecond {
+		t.Fatalf("breakdown = %v", bd)
+	}
+	agg := AggregatePhaseDevice(traces)
+	var daAnneal, saAnneal *PhaseDevice
+	for i := range agg {
+		if agg[i].Phase == "anneal" && agg[i].Device == "da" {
+			daAnneal = &agg[i]
+		}
+		if agg[i].Phase == "anneal" && agg[i].Device == "sa" {
+			saAnneal = &agg[i]
+		}
+	}
+	if daAnneal == nil || daAnneal.Count != 1 || daAnneal.Total != 50*time.Millisecond {
+		t.Fatalf("da anneal aggregate = %+v", daAnneal)
+	}
+	if saAnneal == nil || saAnneal.Total != 15*time.Millisecond {
+		t.Fatalf("sa anneal aggregate = %+v", saAnneal)
+	}
+}
+
+func TestWellFormedDetectsOrphans(t *testing.T) {
+	orphan := `{"t":0.1,"ev":"sub","dur":0.01,"trace":"00000000000000a9","span":"0000000000000d02","parent":"00000000000000ff"}
+{"t":0.0,"ev":"request","dur":0.2,"trace":"00000000000000a9","span":"0000000000000d01"}
+`
+	events, err := Parse(strings.NewReader(orphan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WellFormed(BuildForest(events)); err == nil {
+		t.Fatal("orphaned span not detected")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("{\"t\":0.1,\"ev\":\"x\"}\n{broken\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	traces := parseSample(t)
+	var sb strings.Builder
+	RenderSlowest(&sb, traces, 5)
+	RenderCriticalPath(&sb, SortBySlowest(traces, 1)[0])
+	RenderAggregate(&sb, traces)
+	out := sb.String()
+	for _, want := range []string{
+		"slowest requests", "trace 00000000000000a1", "r000001",
+		"critical path", "anneal", "phase x device", "da", "sa",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Slowest-first: r1 (80ms) before r2 (20ms).
+	if strings.Index(out, "00000000000000a1") > strings.Index(out, "00000000000000a2") {
+		t.Error("slowest request not ranked first")
+	}
+}
