@@ -38,7 +38,11 @@
 // Serving: -fig serve load-tests the mqoserve HTTP stack in-process — N
 // concurrent clients per scale level against a 2-worker fleet over loopback
 // HTTP — and reports throughput with p50/p95/p99 latency per level
-// (BENCH_serve.json records a reference run).
+// (BENCH_serve.json records a reference run). -fig chaos soaks the same
+// stack under injected worker kills, slow workers and journal write
+// failures, asserting the crash-safety invariants — every request answered,
+// every OK cost bit-identical to a standalone solve via checkpoint resume,
+// every stream well-formed (BENCH_chaos.json records a reference run).
 package main
 
 import (
@@ -58,7 +62,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, convergence, dag, warm, serve, ablation or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 3, 4, 5, 6, 7, devices, phases, convergence, dag, warm, serve, chaos, ablation or all")
 		scale     = flag.String("scale", "reduced", "experiment scale: smoke, reduced or paper")
 		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
 		outDir    = flag.String("out", "", "write per-figure files to this directory instead of stdout")
@@ -133,6 +137,7 @@ func main() {
 		{"dag", func() (*bench.Report, error) { return bench.AblationDAG(ctx, cfg, sc) }},
 		{"warm", func() (*bench.Report, error) { return bench.WarmStarts(ctx, cfg, sc) }},
 		{"serve", func() (*bench.Report, error) { return bench.ServeLoad(ctx, cfg, sc) }},
+		{"chaos", func() (*bench.Report, error) { return bench.ChaosSoak(ctx, cfg, sc) }},
 		{"ablation", func() (*bench.Report, error) { return nil, nil }}, // expanded below
 	}
 	selected := map[string]bool{}

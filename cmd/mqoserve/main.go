@@ -11,13 +11,28 @@
 //
 // Endpoints: POST /v1/solve (solve one instance; ?stream=1 switches to
 // NDJSON incumbent streaming), GET /healthz (liveness + queue occupancy),
-// GET /statsz (metrics registry snapshot). See docs/mqoserve.md for the
-// full API, the streaming protocol and tuning guidance.
+// GET /readyz (readiness — 503 while draining or replaying the journal),
+// GET /statsz (metrics registry snapshot), GET /metricsz (Prometheus
+// exposition). See docs/mqoserve.md for the full API, the streaming
+// protocol and tuning guidance.
 //
 // Admission: the queue holds at most -queue requests; beyond that the
 // server answers 503 with a Retry-After hint. Every request carries a
 // deadline (default -deadline, capped by -max-deadline) propagated through
-// queueing and solving; expired work is never performed.
+// queueing and solving; expired work is never performed. Requests queue in
+// priority classes (high before normal before low, FIFO within a class;
+// -priority sets the default) and deadline-expired queued requests are
+// evicted eagerly. -shed-target arms adaptive overload control: while the
+// p99 queue wait exceeds the target, low/normal-priority requests are shed
+// with 503 + Retry-After.
+//
+// Crash safety: -journal-dir fsyncs every accepted request to an
+// append-only journal before admission and tombstones it once answered; a
+// restarted daemon replays the unanswered remainder (at-least-once) while
+// /readyz reports 503. -checkpoint-interval paces the per-solve session
+// checkpoints that let a killed solve attempt resume without re-annealing
+// finished partial problems; -watchdog-factor quarantines fleet slots
+// whose solves ignore cancellation.
 //
 // Resilience: -retries, -solve-timeout, -breaker and -fallback wrap each
 // fleet worker's devices in the same middleware stack mqosolve uses;
@@ -82,6 +97,12 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 0, "cross-solve cache bound: distinct problem structures kept for partitioning/skeleton reuse, shared by the fleet (0 = caching off, -1 = default bound)")
 		warmDrift    = flag.Float64("warm-drift", 0, "seed annealing from the cached incumbent when relative weight drift is within (0, bound]; requires -cache-entries (0 = warm starts off)")
 
+		journalDir     = flag.String("journal-dir", "", "fsync accepted requests to an append-only journal in this directory and replay the unanswered remainder on restart (empty = journaling off)")
+		ckptInterval   = flag.Duration("checkpoint-interval", 0, "minimum spacing between per-solve session checkpoints used for kill-and-resume (0 = checkpoint after every partial-problem merge)")
+		shedTarget     = flag.Duration("shed-target", 0, "adaptive overload shedding: reject low/normal-priority requests while the p99 queue wait exceeds this target (0 = shedding off)")
+		priority       = flag.String("priority", "", "default queue class for requests that carry none: low, normal or high (empty = normal)")
+		watchdogFactor = flag.Float64("watchdog-factor", 0, "quarantine a fleet slot whose solve overruns its remaining deadline times this factor and ignores cancellation (0 = watchdog off)")
+
 		trace     = flag.String("trace", "", "write a JSONL pipeline trace of every solve to this file")
 		pprofAddr = flag.String("pprof", "", "serve pprof/expvar on this address (e.g. :6060)")
 	)
@@ -143,6 +164,12 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		WarmStartDrift:  *warmDrift,
 		Sink:            sink,
+
+		JournalDir:         *journalDir,
+		CheckpointInterval: *ckptInterval,
+		ShedTarget:         *shedTarget,
+		DefaultPriority:    *priority,
+		WatchdogFactor:     *watchdogFactor,
 	})
 	if err != nil {
 		fail(err)

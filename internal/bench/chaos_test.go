@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"context"
+	"strconv"
+	"testing"
+)
+
+// TestChaosSoakSmoke runs the serve-layer chaos figure at smoke scale. The
+// crash-safety invariants (terminal response for every request, OK costs
+// bit-identical to standalone, well-formed NDJSON) are asserted inside
+// ChaosSoak, which errors on any violation — the test just checks the
+// report shape and that faults were actually injected.
+func TestChaosSoakSmoke(t *testing.T) {
+	scale := SmokeScale()
+	r, err := ChaosSoak(context.Background(), ConfigFor(scale), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (no-fault + chaos)", len(r.Rows))
+	}
+	noFault, chaos := r.Rows[0], r.Rows[1]
+	if noFault[0] != "no-fault" || chaos[0] != "chaos" {
+		t.Fatalf("phase labels %q, %q", noFault[0], chaos[0])
+	}
+	for _, row := range r.Rows {
+		if row[1] != row[2] {
+			t.Errorf("%s phase: %s/%s requests answered", row[0], row[2], row[1])
+		}
+	}
+	if n, err := strconv.Atoi(chaos[1]); err != nil || n < scale.ChaosRequests {
+		t.Errorf("chaos phase ran %s requests, want >= %d", chaos[1], scale.ChaosRequests)
+	}
+	if kills, err := strconv.Atoi(chaos[4]); err != nil || kills == 0 {
+		t.Errorf("chaos phase injected %s kills, want > 0", chaos[4])
+	}
+	if noFault[4] != "0" {
+		t.Errorf("no-fault phase reports %s kills", noFault[4])
+	}
+}

@@ -38,6 +38,11 @@ type Scale struct {
 	// ServeRequests is the number of solve requests each client issues
 	// per concurrency level.
 	ServeRequests int
+	// ChaosRequests is the request count of the serve-layer chaos soak
+	// (`-fig chaos`): how many seeded solves are pushed through the
+	// fault-injected serving stack while its crash-safety invariants are
+	// checked.
+	ChaosRequests int
 }
 
 // PaperScale returns the paper's exact experiment dimensions.
@@ -55,6 +60,7 @@ func PaperScale() Scale {
 		Fig1MaxQueries:   40,
 		ServeClients:     []int{1, 4, 8, 16},
 		ServeRequests:    8,
+		ChaosRequests:    400,
 	}
 }
 
@@ -75,6 +81,7 @@ func ReducedScale() Scale {
 		Fig1MaxQueries:   40,
 		ServeClients:     []int{1, 4, 8},
 		ServeRequests:    6,
+		ChaosRequests:    200,
 	}
 }
 
@@ -94,6 +101,7 @@ func SmokeScale() Scale {
 		Fig1MaxQueries:   30,
 		ServeClients:     []int{1, 2, 4},
 		ServeRequests:    3,
+		ChaosRequests:    24,
 	}
 }
 

@@ -95,6 +95,29 @@ type Options struct {
 	// figure (mqobench -fig warm). Only the incremental strategy consults
 	// the cache.
 	Cache *solvecache.Cache
+	// CheckpointFunc, when set, receives a consistent restart point after
+	// partial-problem merges of a partitioned incremental solve (the only
+	// checkpointable strategy; unpartitioned solves and the other
+	// strategies never call it). Checkpoints are deep copies delivered
+	// from the solve's serial merge path — the callback must not block for
+	// long, but may retain them indefinitely. See Checkpoint.
+	CheckpointFunc func(*Checkpoint)
+	// CheckpointInterval throttles CheckpointFunc deliveries: at least
+	// this much time passes between two calls (the first merge always
+	// delivers). Zero delivers after every merge. Finished-sub state
+	// accumulates regardless, so a throttled delivery is still complete.
+	CheckpointInterval time.Duration
+	// Resume restarts a partitioned incremental solve from a Checkpoint:
+	// partitioning is rebuilt from the checkpoint's query sets (no
+	// bisection runs), finished partial problems replay their recorded
+	// selections instead of solving, and the remainder solve normally. The
+	// resumed Outcome is bit-identical to the uninterrupted run (costs,
+	// selections, sweeps, degradations — not wall-clock timings). The
+	// checkpoint must come from the same problem, seed and capacity; a
+	// mismatch fails the solve. Resume disables the cross-solve cache for
+	// this solve, so a resumed run never picks up warm starts the
+	// interrupted run did not have.
+	Resume *Checkpoint
 	// WarmStartDrift enables warm starts on structure-cache hits: when the
 	// relative weight drift against the cached solve (solvecache.
 	// WeightDrift) is positive and at most this bound, part of every

@@ -182,7 +182,7 @@ type dagJoin struct {
 // late join that dirties one is patched by a PreparedMQO reweight pass.
 // It mutates ttlSol, pending and tm, and returns the performed sweeps, the
 // re-applied savings magnitude and the degradations in sub index order.
-func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, warms [][]int8, dag *dssDAG, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options) (int, float64, []Degradation, error) {
+func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, warms [][]int8, dag *dssDAG, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options, rec *ckptRecorder, rs *resumeState) (int, float64, []Degradation, error) {
 	sink := obs.FromContext(ctx)
 	n := len(subs)
 	workers := parallelism(opt)
@@ -233,6 +233,30 @@ func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem,
 				var subSpan *obs.Span
 				subCtx, subSpan = sink.StartSpanIndexed(subCtx, "sub", node)
 				defer subSpan.End()
+				if dc := rs.sub(node); dc != nil {
+					// Resume replay: reinstall the checkpointed selections
+					// instead of annealing. The merge barrier and join edges
+					// below treat the replayed solution exactly like a fresh
+					// one, so the wave schedule stays bit-identical.
+					best, derr := dc.localSolution(sub)
+					if derr != nil {
+						return derr
+					}
+					global, gerr := sub.ToGlobal(p, best)
+					if gerr != nil {
+						return gerr
+					}
+					globals[node] = global
+					sweepCounts[node] = dc.Sweeps
+					if dc.Degraded != nil {
+						d := *dc.Degraded
+						degs[node] = &d
+					}
+					if sink.Enabled() {
+						sink.EmitCtx(subCtx, obs.Event{Name: "replay", Label: subLabel(node), Sweeps: dc.Sweeps})
+					}
+					return nil
+				}
 				if encs[node] == nil || dirty[node] {
 					t0 := time.Now()
 					encs[node] = preps[node].Encoding()
@@ -280,6 +304,12 @@ func incrementalDAG(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem,
 			merged++
 			if sink.Enabled() {
 				sink.EmitCtx(waveCtx, obs.Event{Name: "merge", Label: subLabel(node), N: merged, Value: ttlSol.Cost(p)})
+			}
+			// Truncated best-so-far results from a cancelled wave must not
+			// enter a checkpoint (see the incremental schedule's record
+			// site); replayed nodes carry exact checkpoint values.
+			if waveCtx.Err() == nil || rs.sub(node) != nil {
+				rec.record(node, subs[node], globals[node], sweepCounts[node], degs[node])
 			}
 		}
 		tm.Decode += time.Since(mergeStart)

@@ -39,7 +39,13 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 	if !opt.needsPartitioning(p) {
 		return solveWhole(ctx, p, opt, "incremental", start)
 	}
-	cr := newCacheRun(p, opt)
+	var cr *cacheRun
+	if opt.Resume == nil {
+		// A resumed solve skips the cache entirely: its partitioning comes
+		// from the checkpoint, and warm starts the interrupted run did not
+		// have would break resume bit-identity.
+		cr = newCacheRun(p, opt)
+	}
 	sink := obs.FromContext(ctx)
 	// The partitioning phase is the first child span of a traced request; on
 	// un-traced runs StartSpan is a no-op and the partition package's own
@@ -48,7 +54,15 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 	partStart := time.Now()
 	var part *partition.Result
 	var err error
-	if cr != nil && cr.hit != nil {
+	if opt.Resume != nil {
+		// Resume: rebuild the checkpointed partitioning by re-extraction —
+		// deterministic, so the sub-problems match the interrupted run's.
+		part, err = resumePartition(p, opt.Resume)
+		if err != nil {
+			partSpan.Attr("error", "resume").End()
+			return nil, err
+		}
+	} else if cr != nil && cr.hit != nil {
 		// Structure hit: refit the cached partitioning instead of
 		// re-bisecting. Refit validates coverage and only re-bisects sets
 		// the capacity no longer admits, so a plain recurrence skips the
@@ -73,7 +87,9 @@ func SolveIncremental(ctx context.Context, p *mqo.Problem, opt Options) (*Outcom
 	partElapsed := time.Since(partStart)
 	if partSpan != nil {
 		source := "fresh"
-		if cr != nil && cr.hit != nil {
+		if opt.Resume != nil {
+			source = "resume"
+		} else if cr != nil && cr.hit != nil {
 			source = "refit"
 		}
 		partSpan.Attr("source", source).EndWith(obs.Event{N: len(part.SubProblems)})
@@ -126,6 +142,13 @@ func incrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	pending := make([][]mqo.Saving, len(subs))
 	for i, sub := range subs {
 		pending[i] = append([]mqo.Saving(nil), sub.Discarded...)
+	}
+	// Checkpoint recording and resume replay (see checkpoint.go). Both are
+	// nil-safe no-ops on ordinary solves.
+	rec := newCkptRecorder(p, subs, opt)
+	rs, err := newResumeState(subs, opt)
+	if err != nil {
+		return nil, err
 	}
 	encStart := time.Now()
 	preps := make([]*encoding.PreparedMQO, len(subs))
@@ -192,11 +215,10 @@ func incrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 	var sweeps int
 	var reapplied float64
 	var degs []Degradation
-	var err error
 	if useDAG {
-		sweeps, reapplied, degs, err = incrementalDAG(ctx, p, subs, preps, warms, dag, pending, ttlSol, &tm, opt)
+		sweeps, reapplied, degs, err = incrementalDAG(ctx, p, subs, preps, warms, dag, pending, ttlSol, &tm, opt, rec, rs)
 	} else {
-		sweeps, reapplied, degs, err = incrementalSequential(ctx, p, subs, preps, warms, pending, ttlSol, &tm, opt)
+		sweeps, reapplied, degs, err = incrementalSequential(ctx, p, subs, preps, warms, pending, ttlSol, &tm, opt, rec, rs)
 	}
 	if err != nil {
 		return nil, err
@@ -230,7 +252,7 @@ func incrementalOverSubProblems(ctx context.Context, p *mqo.Problem, subs []*mqo
 // problems after each merge. It mutates ttlSol, pending and tm, and returns
 // the performed sweeps, the re-applied savings magnitude and the
 // degradations in sub index order.
-func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, warms [][]int8, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options) (int, float64, []Degradation, error) {
+func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubProblem, preps []*encoding.PreparedMQO, warms [][]int8, pending [][]mqo.Saving, ttlSol *mqo.Solution, tm *PhaseTimings, opt Options, rec *ckptRecorder, rs *resumeState) (int, float64, []Degradation, error) {
 	sink := obs.FromContext(ctx)
 	sweeps := 0
 	var reapplied float64
@@ -269,19 +291,46 @@ func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubP
 				atomic.AddInt64(&overlapEncNanos, int64(time.Since(t0)))
 			}(preps[i+1])
 		}
-		best, performed, st, err := solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), warms[i], opt.Parallelism)
-		specWG.Wait()
-		if err != nil {
-			if opt.FailFast || isPipelineError(err) {
-				return 0, 0, nil, err
+		var best *mqo.Solution
+		var performed int
+		var st subTimings
+		var subDeg *Degradation
+		if dc := rs.sub(i); dc != nil {
+			// Resume replay: the checkpoint holds this sub-problem's final
+			// selections — reinstall them instead of re-running the device.
+			// The merge and the DSS pass below run exactly as they would
+			// have, so downstream cost adjustments stay float-identical.
+			var derr error
+			best, derr = dc.localSolution(sub)
+			specWG.Wait()
+			if derr != nil {
+				return 0, 0, nil, derr
 			}
-			// Graceful degradation: the device is gone for this partial
-			// problem, but the incumbent and the remaining sub-problems are
-			// fine. Complete this one greedily on its DSS-adjusted costs and
-			// carry on.
-			var d Degradation
-			best, d = degrade(subCtx, sub.Local, i, opt.Device.Name(), err)
-			degs = append(degs, d)
+			performed = dc.Sweeps
+			subDeg = dc.Degraded
+			if subDeg != nil {
+				degs = append(degs, *subDeg)
+			}
+			if sink.Enabled() {
+				sink.EmitCtx(subCtx, obs.Event{Name: "replay", Label: subLabel(i), Sweeps: performed})
+			}
+		} else {
+			var err error
+			best, performed, st, err = solveEncoded(subCtx, opt.Device, enc, opt.Runs, opt.partitionSweeps(len(subs), i), opt.Seed+int64(1000+i), warms[i], opt.Parallelism)
+			specWG.Wait()
+			if err != nil {
+				if opt.FailFast || isPipelineError(err) {
+					return 0, 0, nil, err
+				}
+				// Graceful degradation: the device is gone for this partial
+				// problem, but the incumbent and the remaining sub-problems are
+				// fine. Complete this one greedily on its DSS-adjusted costs and
+				// carry on.
+				var d Degradation
+				best, d = degrade(subCtx, sub.Local, i, opt.Device.Name(), err)
+				degs = append(degs, d)
+				subDeg = &d
+			}
 		}
 		sweeps += performed
 		tm.Anneal += st.anneal
@@ -300,6 +349,14 @@ func incrementalSequential(ctx context.Context, p *mqo.Problem, subs []*mqo.SubP
 			}
 		}
 		tm.Decode += time.Since(decStart)
+		// An interrupted device solve returns its truncated best-so-far
+		// without error, which must not enter a checkpoint: replaying it
+		// would diverge from an uninterrupted run. Cancelled subs stay
+		// unrecorded and simply re-solve after resume. Replayed subs carry
+		// exact checkpoint values, so they record regardless.
+		if subCtx.Err() == nil || rs.sub(i) != nil {
+			rec.record(i, sub, global, performed, subDeg)
+		}
 		if sink.Enabled() {
 			// Incumbent global cost after each merge: Cost skips unassigned
 			// queries, so the trajectory of these events is the incremental

@@ -78,6 +78,13 @@ type Session struct {
 	mu      sync.Mutex
 	started bool
 
+	// ckptEnabled wires a checkpoint store into the solve at Start;
+	// ckpt holds the most recent delivery (see EnableCheckpointing).
+	ckptEnabled  bool
+	ckptInterval time.Duration
+	ckptMu       sync.Mutex
+	ckpt         *Checkpoint
+
 	incumbents chan Incumbent
 	done       chan struct{}
 	start      time.Time
@@ -97,6 +104,38 @@ func NewSession(p *mqo.Problem, opt Options) *Session {
 		incumbents: make(chan Incumbent, 64),
 		done:       make(chan struct{}),
 	}
+}
+
+// EnableCheckpointing makes the session retain the solve's most recent
+// restart point, retrievable with Checkpoint while the solve runs or after
+// an interruption. interval throttles snapshot deliveries (Options.
+// CheckpointInterval); zero snapshots after every partial-problem merge.
+// Must be called before Start. Checkpointing is pure observation — the
+// solve's Outcome is unchanged — and only the partitioned incremental
+// strategy produces checkpoints; for other strategies Checkpoint stays
+// nil and a "resume" is simply a fresh solve.
+//
+// Any Options.CheckpointFunc the caller installed keeps firing (after the
+// session stores its copy), so external sinks — the serving layer's
+// kill-detection, a journal writer — compose with the session store.
+func (s *Session) EnableCheckpointing(interval time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.ckptEnabled = true
+	s.ckptInterval = interval
+}
+
+// Checkpoint returns the most recent restart point of a session started
+// after EnableCheckpointing, nil when none was delivered yet (or the
+// solve is not checkpointable). The returned checkpoint is a stable deep
+// copy; pass it to Options.Resume to continue an interrupted solve.
+func (s *Session) Checkpoint() *Checkpoint {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.ckpt
 }
 
 // Incumbents returns the stream of incumbent points. The channel is closed
@@ -125,6 +164,23 @@ func (s *Session) Start(ctx context.Context) error {
 	}
 	s.started = true
 	s.start = time.Now()
+	if s.ckptEnabled {
+		// Store every delivered checkpoint, then forward to any callback
+		// the caller installed. The solve invokes this from its serial
+		// merge path; Checkpoint readers come from other goroutines.
+		if s.opt.CheckpointInterval == 0 {
+			s.opt.CheckpointInterval = s.ckptInterval
+		}
+		user := s.opt.CheckpointFunc
+		s.opt.CheckpointFunc = func(cp *Checkpoint) {
+			s.ckptMu.Lock()
+			s.ckpt = cp
+			s.ckptMu.Unlock()
+			if user != nil {
+				user(cp)
+			}
+		}
+	}
 	s.mu.Unlock()
 
 	// Observe the solve through a callback sink: "merge" events carry the

@@ -72,6 +72,22 @@ type Config struct {
 	// of 1, simulating a device intermittently refusing large requests.
 	// 0 disables.
 	FlapEvery int
+
+	// The remaining fields schedule serve-layer faults; they are consumed
+	// by NewChaos, not by the device wrapper (see Chaos).
+
+	// KillWorkerEvery kills the worker slot on every Nth solve attempt
+	// (1-based): the serve layer cancels the in-flight solve and requeues
+	// the request from its last checkpoint. 0 disables.
+	KillWorkerEvery int
+	// SlowWorkerEvery delays every Nth solve attempt by SlowWorkerDelay
+	// before it starts, driving requests into the watchdog. 0 disables.
+	SlowWorkerEvery int
+	// SlowWorkerDelay is the delay SlowWorkerEvery applies; 0 means 50ms.
+	SlowWorkerDelay time.Duration
+	// JournalFailEvery fails every Nth admission-journal write (1-based).
+	// 0 disables.
+	JournalFailEvery int
 }
 
 // enabled reports whether the schedule injects anything at all.
@@ -226,13 +242,54 @@ func (s *Solver) corrupt(req solver.Request, res *solver.Result) {
 	s.mu.Unlock()
 }
 
+// ValidDirectives lists every directive ParseSpec accepts, in the order
+// they are documented. SpecError messages embed it so a typo'd -inject or
+// -chaos flag teaches the operator the full grammar.
+var ValidDirectives = []string{
+	"transient-first=N",
+	"transient-every=N",
+	"terminal-after=N",
+	"corrupt[=RATE]",
+	"empty-every=N",
+	"latency=DURATION",
+	"flap-every=N",
+	"seed=N",
+	"kill-worker-every=N",
+	"slow-worker-every=N",
+	"slow-worker-delay=DURATION",
+	"journal-fail-every=N",
+}
+
+// SpecError reports a fault-spec parse failure with the offending token
+// preserved, so callers (CLI flag validation, the serve config loader) can
+// point at exactly what was typed.
+type SpecError struct {
+	// Token is the comma-separated token that failed, as written.
+	Token string
+	// Directive is the directive name parsed out of Token ("" when the
+	// token had no recognisable key).
+	Directive string
+	// Reason says what was wrong: unknown directive, missing value, or a
+	// malformed value.
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("faultinject: bad directive %q: %s (valid directives: %s)",
+		e.Token, e.Reason, strings.Join(ValidDirectives, ", "))
+}
+
 // ParseSpec parses the CLI fault-schedule grammar: a comma-separated list
 // of directives, e.g.
 //
 //	transient-first=2,transient-every=5,terminal-after=8,corrupt,latency=1ms
 //
-// Directives: transient-first=N, transient-every=N, terminal-after=N,
-// corrupt[=RATE], empty-every=N, latency=DURATION, flap-every=N, seed=N.
+// Device-level directives: transient-first=N, transient-every=N,
+// terminal-after=N, corrupt[=RATE], empty-every=N, latency=DURATION,
+// flap-every=N, seed=N. Serve-layer directives (consumed via NewChaos):
+// kill-worker-every=N, slow-worker-every=N, slow-worker-delay=DURATION,
+// journal-fail-every=N. Parse failures are *SpecError values naming the
+// offending token and listing the valid directives.
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
 	if strings.TrimSpace(spec) == "" {
@@ -244,15 +301,28 @@ func ParseSpec(spec string) (Config, error) {
 			continue
 		}
 		key, val, hasVal := strings.Cut(tok, "=")
+		fail := func(reason string) error {
+			return &SpecError{Token: tok, Directive: key, Reason: reason}
+		}
 		intVal := func() (int, error) {
 			if !hasVal {
-				return 0, fmt.Errorf("faultinject: directive %q needs a value", key)
+				return 0, fail("needs a value")
 			}
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 0 {
-				return 0, fmt.Errorf("faultinject: bad value %q for %q", val, key)
+				return 0, fail(fmt.Sprintf("value %q is not a non-negative integer", val))
 			}
 			return n, nil
+		}
+		durVal := func() (time.Duration, error) {
+			if !hasVal {
+				return 0, fail("needs a duration value")
+			}
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return 0, fail(fmt.Sprintf("value %q is not a non-negative duration", val))
+			}
+			return d, nil
 		}
 		var err error
 		switch key {
@@ -266,6 +336,14 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.EmptyEvery, err = intVal()
 		case "flap-every":
 			cfg.FlapEvery, err = intVal()
+		case "kill-worker-every":
+			cfg.KillWorkerEvery, err = intVal()
+		case "slow-worker-every":
+			cfg.SlowWorkerEvery, err = intVal()
+		case "journal-fail-every":
+			cfg.JournalFailEvery, err = intVal()
+		case "slow-worker-delay":
+			cfg.SlowWorkerDelay, err = durVal()
 		case "seed":
 			var n int
 			n, err = intVal()
@@ -273,19 +351,16 @@ func ParseSpec(spec string) (Config, error) {
 		case "corrupt":
 			cfg.Corrupt = true
 			if hasVal {
-				cfg.CorruptRate, err = strconv.ParseFloat(val, 64)
-				if err != nil || cfg.CorruptRate <= 0 || cfg.CorruptRate > 1 {
-					err = fmt.Errorf("faultinject: bad corrupt rate %q", val)
+				var perr error
+				cfg.CorruptRate, perr = strconv.ParseFloat(val, 64)
+				if perr != nil || cfg.CorruptRate <= 0 || cfg.CorruptRate > 1 {
+					err = fail(fmt.Sprintf("rate %q is not in (0, 1]", val))
 				}
 			}
 		case "latency":
-			if !hasVal {
-				err = fmt.Errorf("faultinject: latency needs a duration")
-			} else {
-				cfg.Latency, err = time.ParseDuration(val)
-			}
+			cfg.Latency, err = durVal()
 		default:
-			err = fmt.Errorf("faultinject: unknown directive %q", key)
+			err = fail("unknown directive")
 		}
 		if err != nil {
 			return Config{}, err

@@ -51,6 +51,11 @@ type SolveOptions struct {
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
 	// DisableDSS turns dynamic search steering off (ablation).
 	DisableDSS bool `json:"disableDss,omitempty"`
+	// Priority is the request's queue class: low, normal or high. Higher
+	// classes dequeue first and high-priority requests bypass overload
+	// shedding. Empty takes the server default (normal unless
+	// configured).
+	Priority string `json:"priority,omitempty"`
 }
 
 // SolveResponse is the final answer for one solve — the JSON shape of a
@@ -102,7 +107,8 @@ type errorBody struct {
 	RetryAfter int    `json:"retryAfterSeconds,omitempty"`
 }
 
-// Healthz is the GET /healthz body.
+// Healthz is the GET /healthz body. /healthz is liveness — it answers 200
+// whenever the process can serve HTTP, drain and journal replay included.
 type Healthz struct {
 	Status        string `json:"status"` // "ok" or "draining"
 	QueueDepth    int    `json:"queueDepth"`
@@ -111,10 +117,22 @@ type Healthz struct {
 	Device        string `json:"device"`
 }
 
+// Readyz is the GET /readyz body. /readyz is readiness — it answers 503
+// while the server is draining for shutdown or still replaying its
+// admission journal after a restart, and 200 only when new requests will
+// be admitted and served promptly. Load balancers and the CI daemon smoke
+// poll this, not /healthz.
+type Readyz struct {
+	Status     string `json:"status"` // "ok", "draining" or "replaying"
+	QueueDepth int    `json:"queueDepth"`
+	Replaying  bool   `json:"replaying"`
+}
+
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	return mux
@@ -134,6 +152,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Fleet:         s.cfg.fleet(),
 		Device:        s.cfg.device(),
 	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	replaying := s.replaying.Load()
+	body := Readyz{Status: "ok", QueueDepth: s.queueDepth(), Replaying: replaying}
+	status := http.StatusOK
+	switch {
+	case draining:
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case replaying:
+		body.Status = "replaying"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -183,26 +219,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" || v == "ndjson" {
 		req.Stream = true
 	}
-	strategy := req.Options.Strategy
-	if strategy == "" {
-		strategy = core.StrategyIncremental
-	}
-	switch strategy {
-	case core.StrategyIncremental, core.StrategyParallel, core.StrategyDefault:
-	default:
-		reg.Counter("serve.admission.bad_request").Add(1)
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", strategy), 0)
-		return
-	}
-	device := req.Options.Device
-	if device == "" {
-		device = s.cfg.device()
-	}
-	if _, err := s.cfg.newRawDevice(device); err != nil {
-		reg.Counter("serve.admission.bad_request").Add(1)
-		writeError(w, http.StatusBadRequest, err, 0)
-		return
-	}
 
 	deadline := s.cfg.defaultDeadline()
 	if req.Options.DeadlineMillis > 0 {
@@ -214,36 +230,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
-	capacity := req.Options.Capacity
-	if capacity == 0 {
-		capacity = s.cfg.Capacity
+	j, err := s.prepareJob(&req, s.ids.next(), ctx)
+	if err != nil {
+		reg.Counter("serve.admission.bad_request").Add(1)
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
 	}
-	runs := req.Options.Runs
-	if runs == 0 {
-		runs = s.cfg.defaultRuns()
-	}
-	sweeps := req.Options.TotalSweeps
-	if sweeps == 0 {
-		sweeps = s.cfg.DefaultSweeps
-	}
-	j := &job{
-		id:      s.ids.next(),
-		problem: req.Problem,
-		opt: core.Options{
-			Capacity:    capacity,
-			Runs:        runs,
-			TotalSweeps: sweeps,
-			Seed:        req.Options.Seed,
-			Parallelism: s.perSolveParallelism(),
-			DisableDSS:  req.Options.DisableDSS,
-		},
-		strategy: strategy,
-		device:   device,
-		ctx:      ctx,
-		admitted: time.Now(),
-		sess:     make(chan *core.Session, 1),
-		result:   make(chan jobResult, 1),
-	}
+	device, strategy := j.device, j.strategy
 	if sink := s.cfg.Sink; sink.Enabled() {
 		// Root of the request's span tree. The trace id derives from the
 		// request seed and id — deterministic, never wall-clock randomness —
@@ -259,9 +252,36 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		j.ctx = spanCtx
 	}
 
+	// Adaptive overload shedding: when the fleet is demonstrably behind
+	// (sliding-window p99 queue wait above the target), reject low- and
+	// normal-priority work before it joins the backlog. High priority
+	// always passes — the class exists so operators can keep a critical
+	// stream flowing through an overload.
+	if j.priority < priorityHigh && s.shed.overloaded() {
+		reg.Counter("serve.admission.shed").Add(1)
+		j.queueSpan.Attr("rejected", "shed").End()
+		j.span.Attr("rejected", "shed").End()
+		retry := s.cfg.retryAfter()
+		sec := int((retry + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("rejected: shedding %s-priority load (queue wait p99 over target)", priorityName(j.priority)), sec)
+		return
+	}
+
+	// Journal before admit: once the fsync lands the request survives a
+	// crash, and an admission reject simply tombstones it again. A failed
+	// journal write (disk trouble, chaos) degrades crash safety for this
+	// one request but never rejects it.
+	if err := s.journal.accept(j.id, j.priority, &req); err != nil {
+		reg.Counter("serve.journal.write_failures").Add(1)
+		j.span.Attr("journal", "write_failed")
+	}
+
 	queued := s.queueDepth()
 	ok, reason := s.admit(j)
 	if !ok {
+		s.journal.done(j.id)
 		j.queueSpan.Attr("rejected", reason).End()
 		j.span.Attr("rejected", reason).End()
 		retry := s.cfg.retryAfter()
@@ -285,6 +305,68 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.respondUnary(w, j, device, strategy)
 	}
+}
+
+// prepareJob validates req and assembles the job — options resolved
+// against the server defaults — without admitting it. Both the HTTP
+// admission path and journal replay build jobs here, so a replayed request
+// resolves to exactly the options it would have run with originally.
+func (s *Server) prepareJob(req *SolveRequest, id string, ctx context.Context) (*job, error) {
+	if req.Problem == nil || req.Problem.NumQueries() == 0 {
+		return nil, fmt.Errorf("request carries no problem")
+	}
+	strategy := req.Options.Strategy
+	if strategy == "" {
+		strategy = core.StrategyIncremental
+	}
+	switch strategy {
+	case core.StrategyIncremental, core.StrategyParallel, core.StrategyDefault:
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	device := req.Options.Device
+	if device == "" {
+		device = s.cfg.device()
+	}
+	if _, err := s.cfg.newRawDevice(device); err != nil {
+		return nil, err
+	}
+	defPriority, _ := parsePriority(s.cfg.DefaultPriority, priorityNormal)
+	priority, ok := parsePriority(req.Options.Priority, defPriority)
+	if !ok {
+		return nil, fmt.Errorf("unknown priority %q (want low, normal or high)", req.Options.Priority)
+	}
+	capacity := req.Options.Capacity
+	if capacity == 0 {
+		capacity = s.cfg.Capacity
+	}
+	runs := req.Options.Runs
+	if runs == 0 {
+		runs = s.cfg.defaultRuns()
+	}
+	sweeps := req.Options.TotalSweeps
+	if sweeps == 0 {
+		sweeps = s.cfg.DefaultSweeps
+	}
+	return &job{
+		id:      id,
+		problem: req.Problem,
+		opt: core.Options{
+			Capacity:    capacity,
+			Runs:        runs,
+			TotalSweeps: sweeps,
+			Seed:        req.Options.Seed,
+			Parallelism: s.perSolveParallelism(),
+			DisableDSS:  req.Options.DisableDSS,
+		},
+		strategy: strategy,
+		device:   device,
+		priority: priority,
+		ctx:      ctx,
+		admitted: time.Now(),
+		sess:     make(chan *core.Session, 1),
+		result:   make(chan jobResult, 1),
+	}, nil
 }
 
 // respondUnary waits for the job's result and writes one JSON body.
@@ -319,21 +401,57 @@ func (s *Server) respondStream(w http.ResponseWriter, j *job, device, strategy s
 	enc.Encode(StreamEvent{Type: "accepted", ID: j.id, QueueDepth: queued}) //nolint:errcheck
 	flush()
 
+	emit := func(inc core.Incumbent) {
+		if inc.Final {
+			return // the outcome event carries the final cost
+		}
+		enc.Encode(StreamEvent{ //nolint:errcheck
+			Type: "incumbent", Merged: inc.Merged, Sub: inc.Sub,
+			Cost: inc.Cost, ElapsedMillis: inc.Elapsed.Milliseconds(),
+		})
+		flush()
+	}
 	var queueWait time.Duration
+	var res jobResult
+	haveRes := false
 	if sess, ok := <-j.sess; ok && sess != nil {
 		queueWait = time.Since(j.admitted)
-		for inc := range sess.Incumbents() {
-			if inc.Final {
-				continue // the outcome event carries the final cost
+		// Consume incumbents and the result together: on the normal path
+		// the incumbent channel closes strictly before the result arrives,
+		// but an abandoned (watchdog-quarantined) solve delivers a result
+		// while its incumbent stream never closes — ranging the stream
+		// alone would wedge this handler exactly when the server just
+		// recovered a wedged worker.
+		incs := sess.Incumbents()
+	recv:
+		for {
+			select {
+			case inc, ok := <-incs:
+				if !ok {
+					break recv
+				}
+				emit(inc)
+			case res = <-j.result:
+				haveRes = true
+				// The solve is finished (or abandoned): drain whatever
+				// incumbents are already buffered, without blocking.
+				for {
+					select {
+					case inc, ok := <-incs:
+						if !ok {
+							break recv
+						}
+						emit(inc)
+					default:
+						break recv
+					}
+				}
 			}
-			enc.Encode(StreamEvent{ //nolint:errcheck
-				Type: "incumbent", Merged: inc.Merged, Sub: inc.Sub,
-				Cost: inc.Cost, ElapsedMillis: inc.Elapsed.Milliseconds(),
-			})
-			flush()
 		}
 	}
-	res := <-j.result
+	if !haveRes {
+		res = <-j.result
+	}
 	s.finishMetrics(j, res)
 	if res.err != nil {
 		enc.Encode(StreamEvent{Type: "error", ID: j.id, Error: res.err.Error()}) //nolint:errcheck
@@ -364,10 +482,11 @@ func (s *Server) response(j *job, out *core.Outcome, device, strategy string, qu
 	}
 }
 
-// finishMetrics records the request's terminal metrics and closes its root
-// span. Sub-millisecond latencies keep their fraction so the quantile
-// histogram's low buckets stay meaningful.
+// finishMetrics records the request's terminal metrics, tombstones its
+// journal entry and closes its root span. Sub-millisecond latencies keep
+// their fraction so the quantile histogram's low buckets stay meaningful.
 func (s *Server) finishMetrics(j *job, res jobResult) {
+	s.journal.done(j.id)
 	if res.err != nil {
 		j.span.Attr("error", res.err.Error())
 	}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Priority classes for admitted requests, in dequeue order. The wire names
+// are "low", "normal" and "high" (SolveOptions.Priority).
+const (
+	priorityLow    = 0
+	priorityNormal = 1
+	priorityHigh   = 2
+)
+
+// parsePriority maps the wire name to a class, defaulting to def for "".
+func parsePriority(name string, def int) (int, bool) {
+	switch name {
+	case "":
+		return def, true
+	case "low":
+		return priorityLow, true
+	case "normal":
+		return priorityNormal, true
+	case "high":
+		return priorityHigh, true
+	}
+	return 0, false
+}
+
+func priorityName(p int) string {
+	switch p {
+	case priorityLow:
+		return "low"
+	case priorityHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// admissionQueue is the server's bounded admission queue: a mutex+cond
+// priority queue replacing the original bounded channel. Higher priority
+// classes dequeue first; within a class order is FIFO. It exists because
+// three operations the channel cannot express are load-bearing for crash
+// safety and overload control:
+//
+//   - remove: deadline eviction takes an expired job out of the middle of
+//     the queue. remove-vs-pop under one mutex is the exactly-one-winner
+//     protocol — whichever side extracts the job owns answering it.
+//   - pushFront: a chaos-killed solve requeues at the head of its class
+//     (it already waited once, and its checkpoint ages poorly), even while
+//     the queue is closed for drain.
+//   - priority pop: high-priority work overtakes queued normal/low work.
+type admissionQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cap    int
+	closed bool
+	// buckets[p] is the FIFO for priority class p, dequeued highest first.
+	buckets [3][]*job
+}
+
+func newAdmissionQueue(capacity int) *admissionQueue {
+	q := &admissionQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *admissionQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sizeLocked()
+}
+
+func (q *admissionQueue) sizeLocked() int {
+	n := 0
+	for _, b := range q.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// push appends j to its priority class. It fails when the queue is at
+// capacity or closed — the admission-reject path.
+func (q *admissionQueue) push(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.sizeLocked() >= q.cap {
+		return false
+	}
+	q.buckets[j.priority] = append(q.buckets[j.priority], j)
+	j.enqueued = time.Now()
+	q.cond.Signal()
+	return true
+}
+
+// pushFront puts j at the head of its priority class, ignoring capacity
+// and the closed flag: it re-admits work that was already admitted once
+// (chaos-killed resumes, which must complete even mid-drain).
+func (q *admissionQueue) pushFront(j *job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.buckets[j.priority] = append([]*job{j}, q.buckets[j.priority]...)
+	j.enqueued = time.Now()
+	q.cond.Signal()
+}
+
+// pop blocks until a job is available or the queue is closed and empty.
+// A closed queue keeps yielding its remaining jobs — drain semantics.
+func (q *admissionQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for p := priorityHigh; p >= priorityLow; p-- {
+			if b := q.buckets[p]; len(b) > 0 {
+				j := b[0]
+				q.buckets[p] = b[1:]
+				return j, true
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// remove extracts j if it is still queued, reporting whether this call won
+// it. The caller that wins owns answering the job's client.
+func (q *admissionQueue) remove(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[j.priority]
+	for i, qj := range b {
+		if qj == j {
+			q.buckets[j.priority] = append(b[:i:i], b[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// close stops admissions and wakes every popper; queued jobs keep draining.
+func (q *admissionQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// shedder is the adaptive overload controller: a CoDel-style admission
+// gate driven by observed queue waits rather than queue length. Workers
+// feed it the wait of every job they pick up; admission consults the p99
+// over a sliding window. When that p99 exceeds the target, low- and
+// normal-priority requests are shed with 503 + Retry-After while
+// high-priority ones still pass — queue *length* says how much work is
+// waiting, queue *wait* says whether the fleet is keeping up, and only the
+// latter matters to a client deciding whether to retry here or elsewhere.
+//
+// A nil *shedder (ShedTarget zero) never sheds.
+type shedder struct {
+	target time.Duration
+	window time.Duration
+
+	mu      sync.Mutex
+	samples []shedSample
+}
+
+type shedSample struct {
+	at   time.Time
+	wait time.Duration
+}
+
+// minShedSamples is how many in-window waits the shedder needs before it
+// trusts its p99 — below this a single slow pickup would flap the gate.
+const minShedSamples = 5
+
+func newShedder(target time.Duration) *shedder {
+	if target <= 0 {
+		return nil
+	}
+	return &shedder{target: target, window: 5 * time.Second}
+}
+
+func (sh *shedder) observe(wait time.Duration) {
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pruneLocked(time.Now())
+	sh.samples = append(sh.samples, shedSample{at: time.Now(), wait: wait})
+}
+
+// overloaded reports whether the sliding-window p99 queue wait exceeds the
+// target.
+func (sh *shedder) overloaded() bool {
+	if sh == nil {
+		return false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pruneLocked(time.Now())
+	if len(sh.samples) < minShedSamples {
+		return false
+	}
+	waits := make([]time.Duration, len(sh.samples))
+	for i, s := range sh.samples {
+		waits[i] = s.wait
+	}
+	sort.Slice(waits, func(i, k int) bool { return waits[i] < waits[k] })
+	idx := (len(waits)*99 + 99) / 100
+	if idx > len(waits) {
+		idx = len(waits)
+	}
+	return waits[idx-1] > sh.target
+}
+
+func (sh *shedder) pruneLocked(now time.Time) {
+	cut := 0
+	for cut < len(sh.samples) && now.Sub(sh.samples[cut].at) > sh.window {
+		cut++
+	}
+	if cut > 0 {
+		sh.samples = append(sh.samples[:0], sh.samples[cut:]...)
+	}
+}

@@ -36,10 +36,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incranneal/internal/core"
 	"incranneal/internal/da"
+	"incranneal/internal/faultinject"
 	"incranneal/internal/hqa"
 	"incranneal/internal/mqo"
 	"incranneal/internal/obs"
@@ -116,6 +118,43 @@ type Config struct {
 	// NewDevice overrides device construction (tests inject gated or
 	// faulty solvers). Nil uses the built-in devices.
 	NewDevice func(name string, capacity int) (solver.Solver, error)
+
+	// JournalDir enables the crash-safety journal: every accepted request
+	// is fsync'd to JournalDir/queue.journal before admission and
+	// tombstoned once answered, and a restarting server re-runs the
+	// unanswered remainder (at-least-once). Empty disables journaling —
+	// behaviour is then identical to a journal-less server.
+	JournalDir string
+	// CheckpointInterval throttles the per-solve checkpoint cadence used
+	// for chaos-kill resume (core.Options.CheckpointInterval). Zero
+	// checkpoints after every partial-problem merge.
+	CheckpointInterval time.Duration
+	// ShedTarget enables adaptive overload shedding: when the p99 queue
+	// wait over a ~5s sliding window exceeds this target, low- and
+	// normal-priority requests are rejected with 503 + Retry-After
+	// (high-priority requests always pass). Zero disables shedding.
+	ShedTarget time.Duration
+	// DefaultPriority is the class of requests that carry none: low,
+	// normal (the default) or high. Dequeue order is high before normal
+	// before low, FIFO within a class.
+	DefaultPriority string
+	// WatchdogFactor arms a per-slot watchdog: a solve still running
+	// after (remaining deadline at start) × WatchdogFactor has ignored
+	// its cancellation, so the slot cancels it, waits WatchdogGrace, and
+	// if the solve still has not returned abandons it — the client gets
+	// an error, the slot is quarantined and a fresh worker (new device
+	// stacks) replaces it. Zero disables the watchdog.
+	WatchdogFactor float64
+	// WatchdogGrace is the post-cancel wait before quarantining. Zero
+	// means 2s.
+	WatchdogGrace time.Duration
+	// MaxAttempts bounds how many times one request may be (chaos-)killed
+	// and requeued; the final attempt always runs unkilled. Zero means 3.
+	MaxAttempts int
+	// Chaos injects serve-layer faults — worker kills, slow workers,
+	// journal write failures — for the chaos harness. Nil injects
+	// nothing.
+	Chaos *faultinject.Chaos
 }
 
 func (c Config) queueDepth() int { return orDefault(c.QueueDepth, 64) }
@@ -145,6 +184,13 @@ func (c Config) retryAfter() time.Duration {
 	}
 	return time.Second
 }
+func (c Config) maxAttempts() int { return orDefault(c.MaxAttempts, 3) }
+func (c Config) watchdogGrace() time.Duration {
+	if c.WatchdogGrace > 0 {
+		return c.WatchdogGrace
+	}
+	return 2 * time.Second
+}
 
 func orDefault(v, d int) int {
 	if v > 0 {
@@ -170,6 +216,17 @@ type job struct {
 	// when the server observes — the request's root span.
 	ctx      context.Context
 	admitted time.Time
+	// enqueued is when the current attempt entered the queue (admission or
+	// chaos requeue); admitted stays the original admission time.
+	enqueued time.Time
+	// priority is the job's dequeue class (priorityLow/Normal/High).
+	priority int
+	// attempts counts solve attempts so far; chaos kills stop once
+	// attempts+1 reaches the server's MaxAttempts.
+	attempts int
+	// replay marks a job rebuilt from the journal after a restart: its
+	// original client is gone, so a background drainer consumes it.
+	replay bool
 	// span is the request's root span; queueSpan covers admission to worker
 	// pickup. Both nil when the server runs without a sink.
 	span      *obs.Span
@@ -187,15 +244,24 @@ type job struct {
 // ListenAndServe, stop with Shutdown.
 type Server struct {
 	cfg   Config
-	queue chan *job
+	queue *admissionQueue
 	mux   *http.ServeMux
 	// cache is the fleet-wide cross-solve cache (nil when disabled); all
 	// workers share it so any slot can reuse any slot's partitionings,
 	// skeletons and incumbents.
 	cache *solvecache.Cache
+	// shed gates admissions on observed queue waits (nil = no shedding).
+	shed *shedder
+	// journal is the crash-safety admission journal (nil = disabled).
+	journal *journal
 
 	mu       sync.RWMutex
 	draining bool
+
+	// replaying is true from startup until every journal-replayed request
+	// has been answered; /readyz reports 503 meanwhile.
+	replaying atomic.Bool
+	replayWG  sync.WaitGroup
 
 	workers  sync.WaitGroup // fleet workers
 	inflight sync.WaitGroup // admitted jobs not yet answered
@@ -216,7 +282,14 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("fallback: %w", err)
 		}
 	}
-	s := &Server{cfg: cfg, queue: make(chan *job, cfg.queueDepth())}
+	if _, ok := parsePriority(cfg.DefaultPriority, priorityNormal); !ok {
+		return nil, fmt.Errorf("serve: unknown default priority %q (want low, normal or high)", cfg.DefaultPriority)
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: newAdmissionQueue(cfg.queueDepth()),
+		shed:  newShedder(cfg.ShedTarget),
+	}
 	if cfg.CacheEntries != 0 {
 		n := cfg.CacheEntries
 		if n < 0 {
@@ -226,11 +299,74 @@ func New(cfg Config) (*Server, error) {
 		s.cache.Publish(s.registry())
 	}
 	s.mux = s.routes()
+
+	var orphans []journalRecord
+	if cfg.JournalDir != "" {
+		var err error
+		s.journal, orphans, err = openJournal(cfg.JournalDir, cfg.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		s.ids.n = s.journal.maxID
+	}
 	for i := 0; i < cfg.fleet(); i++ {
 		s.workers.Add(1)
 		go s.worker(i)
 	}
+	if len(orphans) > 0 {
+		s.replayOrphans(orphans)
+	}
 	return s, nil
+}
+
+// replayOrphans re-admits the journal's unanswered requests. Their clients
+// are gone, so each job gets a background drainer that consumes the
+// session and result, records the terminal metrics and tombstones the id.
+// /readyz reports 503 until the last replay is answered.
+func (s *Server) replayOrphans(orphans []journalRecord) {
+	reg := s.registry()
+	s.replaying.Store(true)
+	for i := range orphans {
+		rec := orphans[i]
+		if rec.Request == nil || rec.Request.Problem == nil {
+			s.journal.done(rec.ID)
+			continue
+		}
+		// Replays run under a fresh default deadline: the journal does not
+		// preserve how much of the original deadline was left, and a crashed
+		// daemon's clock tells nothing useful about the client's.
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.defaultDeadline())
+		j, errStatus := s.prepareJob(rec.Request, rec.ID, ctx)
+		if errStatus != nil {
+			cancel()
+			s.journal.done(rec.ID)
+			continue
+		}
+		j.priority = rec.Priority
+		j.replay = true
+		if ok, _ := s.admit(j); !ok {
+			cancel()
+			s.journal.done(rec.ID)
+			continue
+		}
+		reg.Counter("serve.journal.replayed").Add(1)
+		s.replayWG.Add(1)
+		go func() {
+			defer s.replayWG.Done()
+			defer cancel()
+			defer s.inflight.Done()
+			if sess, ok := <-j.sess; ok && sess != nil {
+				for range sess.Incumbents() {
+				}
+			}
+			res := <-j.result
+			s.finishMetrics(j, res)
+		}()
+	}
+	go func() {
+		s.replayWG.Wait()
+		s.replaying.Store(false)
+	}()
 }
 
 // newRawDevice constructs one bare device by name.
@@ -301,17 +437,26 @@ func (s *Server) perSolveParallelism() int {
 
 // worker is one fleet slot: it pulls admitted jobs off the queue and runs
 // each as a core.Session on its own device stacks until the queue closes.
+// A quarantined slot (watchdog abandonment) exits after spawning its
+// replacement, so wedged device state never serves another request.
 func (s *Server) worker(slot int) {
 	defer s.workers.Done()
 	stacks := map[string]solver.Solver{}
 	reg := s.registry()
-	for j := range s.queue {
-		reg.Gauge("serve.queue.depth").Set(float64(len(s.queue)))
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		reg.Gauge("serve.queue.depth").Set(float64(s.queue.len()))
 		// Worker pickup closes the request's queue-wait span and feeds the
-		// queue-wait quantile histogram regardless of how the job proceeds.
-		wait := time.Since(j.admitted)
+		// queue-wait quantile histogram (and the shedder's window)
+		// regardless of how the job proceeds.
+		wait := time.Since(j.enqueued)
 		j.queueSpan.End()
+		j.queueSpan = nil
 		reg.Histogram("serve.queue.wait_ms").Observe(wait.Seconds() * 1e3)
+		s.shed.observe(wait)
 		if err := j.ctx.Err(); err != nil {
 			// The client's deadline expired (or it disconnected) while the
 			// job sat in the queue: answer without solving.
@@ -321,51 +466,162 @@ func (s *Server) worker(slot int) {
 			j.result <- jobResult{err: fmt.Errorf("serve: request expired in queue after %v: %w", wait.Round(time.Millisecond), err)}
 			continue
 		}
-		stack, ok := stacks[j.device]
-		if !ok {
-			var err error
-			stack, err = s.newStack(j.device, slot)
-			if err != nil {
-				close(j.sess)
-				j.result <- jobResult{err: err}
-				continue
-			}
-			stacks[j.device] = stack
+		if quarantined := s.runJob(slot, stacks, j); quarantined {
+			reg.Counter("serve.worker.quarantined").Add(1)
+			s.workers.Add(1)
+			go s.worker(slot)
+			return
 		}
-		opt := j.opt
-		opt.Device = stack
-		if s.cache != nil {
-			opt.Cache = s.cache
-			opt.WarmStartDrift = s.cfg.WarmStartDrift
+	}
+}
+
+// runJob executes one dequeued job on this slot's device stacks. It
+// reports true when the slot must be quarantined: the solve ignored both
+// its deadline and the watchdog's cancellation, so the worker abandoned it
+// and a fresh slot (new stacks) takes over the queue.
+func (s *Server) runJob(slot int, stacks map[string]solver.Solver, j *job) (quarantined bool) {
+	reg := s.registry()
+	// Chaos slow-worker: stall before the solve starts, driving queue
+	// waits up so the shedder and watchdog paths see real pressure.
+	if d := s.cfg.Chaos.SlowNextSolve(); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-j.ctx.Done():
+			t.Stop()
 		}
-		sess := core.NewSession(j.problem, opt)
-		sess.Strategy = j.strategy
-		ctx := j.ctx
-		var wspan *obs.Span
-		if s.cfg.Sink.Enabled() {
-			ctx = obs.NewContext(ctx, s.cfg.Sink)
-			// The worker-slot span covers device-stack residency: the session
-			// span (and the whole pipeline tree) hangs off it. Slot
-			// attribution answers "which fleet slot's breaker/retry state
-			// served this request".
-			ctx, wspan = s.cfg.Sink.StartSpan(ctx, "worker")
-			wspan.Attr("slot", strconv.Itoa(slot)).Attr("device", j.device)
-		}
-		if err := sess.Start(ctx); err != nil {
-			wspan.Attr("error", err.Error()).End()
+	}
+	stack, ok := stacks[j.device]
+	if !ok {
+		var err error
+		stack, err = s.newStack(j.device, slot)
+		if err != nil {
 			close(j.sess)
 			j.result <- jobResult{err: err}
-			continue
+			return false
 		}
-		j.sess <- sess
-		out, err := sess.Wait()
-		if err == nil {
-			wspan.Attr("cache.tier", out.Cache.Tier())
-			reg.Histogram("serve.solve.latency_ms").Observe(out.Elapsed.Seconds() * 1e3)
-		}
-		wspan.End()
-		j.result <- jobResult{out: out, err: err}
+		stacks[j.device] = stack
 	}
+	opt := j.opt
+	opt.Device = stack
+	if s.cache != nil && opt.Resume == nil {
+		opt.Cache = s.cache
+		opt.WarmStartDrift = s.cfg.WarmStartDrift
+	}
+
+	// Chaos worker-kill: decide before the session is handed to the
+	// client's handler, so the handler only ever sees the attempt that
+	// runs to completion. A killed attempt is cancelled after its first
+	// checkpoint, its (valid-but-divergent, best-so-far) result is
+	// discarded, and the job requeues at the head of its class with
+	// Options.Resume set — the next attempt replays the finished partial
+	// problems bit-exactly and solves the rest. The final permitted
+	// attempt always runs unkilled.
+	kill := j.strategy == core.StrategyIncremental &&
+		j.attempts+1 < s.cfg.maxAttempts() &&
+		s.cfg.Chaos.KillNextSolve()
+	var killCh chan struct{}
+	if kill || j.strategy == core.StrategyIncremental {
+		// Checkpointing is pure observation; enabling it whenever the
+		// strategy supports it keeps kill and no-kill attempts on the
+		// same code path.
+		killCh = make(chan struct{}, 1)
+		opt.CheckpointFunc = func(*core.Checkpoint) {
+			select {
+			case killCh <- struct{}{}:
+			default:
+			}
+		}
+		opt.CheckpointInterval = s.cfg.CheckpointInterval
+	}
+
+	solveCtx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	sess := core.NewSession(j.problem, opt)
+	sess.Strategy = j.strategy
+	if j.strategy == core.StrategyIncremental {
+		sess.EnableCheckpointing(s.cfg.CheckpointInterval)
+	}
+	ctx := solveCtx
+	var wspan *obs.Span
+	if s.cfg.Sink.Enabled() {
+		ctx = obs.NewContext(ctx, s.cfg.Sink)
+		// The worker-slot span covers device-stack residency: the session
+		// span (and the whole pipeline tree) hangs off it. Slot
+		// attribution answers "which fleet slot's breaker/retry state
+		// served this request".
+		ctx, wspan = s.cfg.Sink.StartSpan(ctx, "worker")
+		wspan.Attr("slot", strconv.Itoa(slot)).Attr("device", j.device)
+	}
+	if err := sess.Start(ctx); err != nil {
+		wspan.Attr("error", err.Error()).End()
+		close(j.sess)
+		j.result <- jobResult{err: err}
+		return false
+	}
+
+	if kill {
+		select {
+		case <-killCh:
+			// First checkpoint landed: kill the attempt and requeue from it.
+			cancel()
+			sess.Wait() //nolint:errcheck // the killed attempt's result is discarded by design
+			if cp := sess.Checkpoint(); cp != nil {
+				j.attempts++
+				j.opt.Resume = cp
+				reg.Counter("serve.chaos.worker_kills").Add(1)
+				wspan.Attr("chaos", "killed").End()
+				s.queue.pushFront(j)
+				return false
+			}
+			// No restart point (shouldn't happen: the checkpoint fires the
+			// kill). Fall through and answer with what the attempt produced.
+		case <-sess.Done():
+			// The solve finished before any checkpoint (unpartitioned
+			// problem): nothing to kill, deliver normally.
+		}
+	}
+
+	j.sess <- sess
+
+	// Watchdog: a solve that runs past its remaining deadline times
+	// WatchdogFactor has ignored context cancellation (the deadline fired
+	// long ago). Cancel explicitly, grant a grace period, then abandon
+	// the job — answer the client, quarantine the slot.
+	if f := s.cfg.WatchdogFactor; f > 0 {
+		if dl, ok := j.ctx.Deadline(); ok {
+			budget := time.Duration(float64(time.Until(dl)) * f)
+			if budget > 0 {
+				wd := time.NewTimer(budget)
+				select {
+				case <-sess.Done():
+					wd.Stop()
+				case <-wd.C:
+					cancel()
+					grace := time.NewTimer(s.cfg.watchdogGrace())
+					select {
+					case <-sess.Done():
+						grace.Stop()
+					case <-grace.C:
+						wspan.Attr("watchdog", "quarantined").End()
+						j.result <- jobResult{err: fmt.Errorf(
+							"serve: solve overran its deadline by %.1fx and ignored cancellation; worker slot %d quarantined",
+							f, slot)}
+						return true
+					}
+				}
+			}
+		}
+	}
+
+	out, err := sess.Wait()
+	if err == nil {
+		wspan.Attr("cache.tier", out.Cache.Tier())
+		reg.Histogram("serve.solve.latency_ms").Observe(out.Elapsed.Seconds() * 1e3)
+	}
+	wspan.End()
+	j.result <- jobResult{out: out, err: err}
+	return false
 }
 
 // admit enqueues j unless the server is draining or the queue is full.
@@ -380,19 +636,34 @@ func (s *Server) admit(j *job) (ok bool, reason string) {
 	if s.draining {
 		return false, "draining"
 	}
-	select {
-	case s.queue <- j:
-		s.inflight.Add(1)
-		return true, ""
-	default:
+	if !s.queue.push(j) {
 		return false, "queue full"
 	}
+	s.inflight.Add(1)
+	// Eager deadline eviction: when the request's context ends while the
+	// job still sits in the queue, take it out immediately instead of
+	// letting a worker discover the corpse at pickup. remove-vs-pop under
+	// the queue mutex guarantees exactly one side answers the client.
+	stop := context.AfterFunc(j.ctx, func() {
+		if !s.queue.remove(j) {
+			return // a worker (or chaos requeue) owns it
+		}
+		s.registry().Counter("serve.admission.evicted_expired").Add(1)
+		j.queueSpan.Attr("evicted", "expired").End()
+		j.span.Attr("expired", "queue")
+		close(j.sess)
+		j.result <- jobResult{err: fmt.Errorf(
+			"serve: request expired in queue after %v: %w",
+			time.Since(j.enqueued).Round(time.Millisecond), j.ctx.Err())}
+	})
+	_ = stop // the AfterFunc disarms itself with the request context
+	return true, ""
 }
 
 func (s *Server) registry() *obs.Registry { return s.cfg.Sink.Metrics() }
 
 // queueDepth reports the current number of queued (not yet running) jobs.
-func (s *Server) queueDepth() int { return len(s.queue) }
+func (s *Server) queueDepth() int { return s.queue.len() }
 
 // Handler returns the server's HTTP handler, for mounting on an existing
 // listener or an httptest server.
@@ -433,8 +704,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	// No admit can be in flight past this point (admit holds the read
 	// lock while enqueuing), so closing the queue is safe; workers drain
-	// the remaining jobs and exit.
-	close(s.queue)
+	// the remaining jobs and exit. Chaos requeues still land (pushFront
+	// ignores the closed flag) and are drained before the fleet exits.
+	s.queue.close()
 
 	drained := make(chan struct{})
 	go func() {
@@ -447,6 +719,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	s.journal.close()
 	if httpSrv != nil {
 		return httpSrv.Shutdown(ctx)
 	}
